@@ -1,0 +1,358 @@
+(* flowsched — command-line interface.
+
+   Subcommands: generate workloads, compute LP lower bounds, run the offline
+   approximation algorithms (Theorem 1, Theorem 3), simulate online
+   policies, and solve tiny instances exactly. *)
+
+open Cmdliner
+open Flowsched_switch
+open Flowsched_core
+
+(* ----- shared helpers ----- *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let load_instance path =
+  let data =
+    if path = "-" then read_all stdin
+    else begin
+      let ic = open_in path in
+      let data = read_all ic in
+      close_in ic;
+      data
+    end
+  in
+  match Instance.of_string data with
+  | Ok inst -> inst
+  | Error msg ->
+      Printf.eprintf "error: cannot parse %s: %s\n" path msg;
+      exit 1
+
+let instance_arg =
+  let doc = "Instance file in the flowsched text format ('-' for stdin)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"INSTANCE" ~doc)
+
+let seed_term =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let print_schedule_stats inst schedule =
+  Printf.printf "flows:            %d\n" (Instance.n inst);
+  Printf.printf "makespan:         %d\n" (Schedule.makespan schedule);
+  Printf.printf "total response:   %d\n" (Schedule.total_response inst schedule);
+  Printf.printf "average response: %.3f\n" (Schedule.average_response inst schedule);
+  Printf.printf "max response:     %d\n" (Schedule.max_response inst schedule)
+
+let print_assignment schedule n =
+  for e = 0 to n - 1 do
+    Printf.printf "flow %d -> round %d\n" e (Schedule.round_of schedule e)
+  done
+
+let print_timeline inst schedule caps_note =
+  Printf.printf "timeline (%s):\n%s" caps_note (Schedule.render_timeline inst schedule)
+
+(* ----- generate ----- *)
+
+let generate kind m rate rounds n max_release max_demand seed =
+  let inst =
+    match kind with
+    | "poisson" -> Flowsched_sim.Workload.poisson ~m ~rate ~rounds ~seed
+    | "poisson-demands" ->
+        Flowsched_sim.Workload.poisson_with_demands ~m ~rate ~rounds ~max_demand ~seed
+    | "uniform" -> Flowsched_sim.Workload.uniform_total ~m ~n ~max_release ~seed
+    | "skewed" -> Flowsched_sim.Workload.skewed ~m ~rate ~rounds ~seed ()
+    | "hotspot" -> Flowsched_sim.Workload.hotspot ~m ~rate ~rounds ~seed ()
+    | "slack1" -> Open_problem.generate ~seed ~m ~rounds ()
+    | "fig4a" -> Lower_bounds.fig4a_static ~t:(rounds / 2) ~total_rounds:rounds
+    | "fig4b" -> Lower_bounds.fig4b_static ()
+    | other ->
+        Printf.eprintf
+          "error: unknown workload %S \
+           (poisson|poisson-demands|uniform|skewed|hotspot|slack1|fig4a|fig4b)\n"
+          other;
+        exit 1
+  in
+  print_string (Instance.to_string inst)
+
+let generate_cmd =
+  let kind =
+    Arg.(
+      value & pos 0 string "poisson"
+      & info [] ~docv:"KIND"
+          ~doc:
+            "poisson | poisson-demands | uniform | skewed | hotspot | slack1 | fig4a | \
+             fig4b")
+  in
+  let m = Arg.(value & opt int 8 & info [ "m" ] ~doc:"Ports per side.") in
+  let rate = Arg.(value & opt float 4.0 & info [ "rate" ] ~doc:"Poisson arrival rate (M).") in
+  let rounds = Arg.(value & opt int 10 & info [ "rounds" ] ~doc:"Generation rounds (T).") in
+  let n = Arg.(value & opt int 32 & info [ "n" ] ~doc:"Flow count (uniform).") in
+  let max_release =
+    Arg.(value & opt int 8 & info [ "max-release" ] ~doc:"Release bound (uniform).")
+  in
+  let max_demand =
+    Arg.(value & opt int 3 & info [ "max-demand" ] ~doc:"Demand bound (poisson-demands).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a workload instance on stdout.")
+    Term.(const generate $ kind $ m $ rate $ rounds $ n $ max_release $ max_demand $ seed_term)
+
+(* ----- lp-bound ----- *)
+
+let lp_bound path =
+  let inst = load_instance path in
+  let bound = Art_lp.lower_bound inst in
+  let rho = Mrt_scheduler.min_fractional_rho inst in
+  Printf.printf "flows:                     %d\n" (Instance.n inst);
+  Printf.printf "LP (1)-(4) total response: %.3f\n" bound.Art_lp.total;
+  Printf.printf "LP (1)-(4) avg response:   %.3f\n" bound.Art_lp.average;
+  Printf.printf "LP (19)-(21) min rho:      %d\n" rho
+
+let lp_bound_cmd =
+  Cmd.v
+    (Cmd.info "lp-bound"
+       ~doc:"Compute the LP lower bounds on average and maximum response time.")
+    Term.(const lp_bound $ instance_arg)
+
+(* ----- solve-art ----- *)
+
+let solve_art path c show timeline =
+  let inst = load_instance path in
+  let res = Art_scheduler.solve ~c inst in
+  let d = res.Art_scheduler.diagnostics in
+  Printf.printf "FS-ART approximation (Theorem 1), capacity blow-up %dx\n" (1 + c);
+  print_schedule_stats inst res.Art_scheduler.schedule;
+  Printf.printf "LP lower bound:   %.3f\n" res.Art_scheduler.lp_total;
+  Printf.printf "rounding iters:   %d\n" d.Art_scheduler.rounding.Iterative_rounding.iterations;
+  Printf.printf "backlog:          %d\n" d.Art_scheduler.rounding.Iterative_rounding.backlog;
+  Printf.printf "block length h:   %d\n" d.Art_scheduler.h;
+  Printf.printf "valid (1+c caps): %b\n"
+    (Schedule.is_valid res.Art_scheduler.augmented res.Art_scheduler.schedule);
+  if show then print_assignment res.Art_scheduler.schedule (Instance.n inst);
+  if timeline then
+    print_timeline res.Art_scheduler.augmented res.Art_scheduler.schedule
+      (Printf.sprintf "(1+c) = %dx capacities" (1 + c))
+
+let timeline_flag =
+  Arg.(value & flag & info [ "timeline" ] ~doc:"Print an ASCII port/round load timeline.")
+
+let solve_art_cmd =
+  let c =
+    Arg.(value & opt int 1 & info [ "c" ] ~doc:"Capacity blow-up parameter (1+c total).")
+  in
+  let show = Arg.(value & flag & info [ "show-schedule" ] ~doc:"Print the assignment.") in
+  Cmd.v
+    (Cmd.info "solve-art"
+       ~doc:"Minimize average response time offline (unit demands, (1+c) capacities).")
+    Term.(const solve_art $ instance_arg $ c $ show $ timeline_flag)
+
+(* ----- solve-mrt ----- *)
+
+let solve_mrt path rho show timeline =
+  let inst = load_instance path in
+  let sol = match rho with Some r -> Mrt_scheduler.solve ~rho:r inst | None -> Mrt_scheduler.solve inst in
+  Printf.printf "FS-MRT (Theorem 3), capacities +%d\n"
+    (max 0 ((2 * Instance.dmax inst) - 1));
+  print_schedule_stats inst sol.Mrt_scheduler.schedule;
+  Printf.printf "fractional rho:   %d\n" sol.Mrt_scheduler.fractional_rho;
+  Printf.printf "port overflow:    %d (bound %d)\n"
+    sol.Mrt_scheduler.rounding.Mrt_rounding.overflow sol.Mrt_scheduler.rounding.Mrt_rounding.bound;
+  Printf.printf "valid (augmented):%b\n"
+    (Schedule.is_valid sol.Mrt_scheduler.augmented sol.Mrt_scheduler.schedule);
+  if show then print_assignment sol.Mrt_scheduler.schedule (Instance.n inst);
+  if timeline then
+    print_timeline sol.Mrt_scheduler.augmented sol.Mrt_scheduler.schedule
+      "capacities +2dmax-1"
+
+let solve_mrt_cmd =
+  let rho =
+    Arg.(value & opt (some int) None & info [ "rho" ] ~doc:"Target max response (default: minimum feasible).")
+  in
+  let show = Arg.(value & flag & info [ "show-schedule" ] ~doc:"Print the assignment.") in
+  Cmd.v
+    (Cmd.info "solve-mrt"
+       ~doc:"Minimize maximum response time offline (capacities +2dmax-1).")
+    Term.(const solve_mrt $ instance_arg $ rho $ show $ timeline_flag)
+
+(* ----- simulate ----- *)
+
+let policy_of_name name seed =
+  match String.lowercase_ascii name with
+  | "maxcard" -> Flowsched_online.Heuristics.maxcard
+  | "minrtime" -> Flowsched_online.Heuristics.minrtime
+  | "maxweight" -> Flowsched_online.Heuristics.maxweight
+  | "fifo" -> Flowsched_online.Heuristics.fifo
+  | "random" -> Flowsched_online.Heuristics.random_policy ~seed
+  | other ->
+      Printf.eprintf "error: unknown policy %S (maxcard|minrtime|maxweight|fifo|random)\n"
+        other;
+      exit 1
+
+let simulate path policy_name seed timeline =
+  let inst = load_instance path in
+  let policy = policy_of_name policy_name seed in
+  let r = Flowsched_sim.Engine.run_instance policy inst in
+  Printf.printf "policy:           %s\n" policy.Flowsched_online.Policy.name;
+  print_schedule_stats inst r.Flowsched_sim.Engine.schedule;
+  if timeline then print_timeline inst r.Flowsched_sim.Engine.schedule "original capacities"
+
+let simulate_cmd =
+  let policy =
+    Arg.(
+      value & opt string "maxweight"
+      & info [ "policy" ] ~doc:"maxcard | minrtime | maxweight | fifo | random")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run an online policy over an instance.")
+    Term.(const simulate $ instance_arg $ policy $ seed_term $ timeline_flag)
+
+(* ----- exact ----- *)
+
+let exact path =
+  let inst = load_instance path in
+  if Instance.n inst > 12 then
+    Printf.eprintf "warning: exact search is exponential; %d flows may take very long\n"
+      (Instance.n inst);
+  let total, s = Exact.min_total_response inst in
+  Printf.printf "optimal total response: %d (avg %.3f)\n" total
+    (float_of_int total /. float_of_int (max 1 (Instance.n inst)));
+  Printf.printf "  witness makespan: %d\n" (Schedule.makespan s);
+  match Exact.min_max_response inst with
+  | Some (rho, _) -> Printf.printf "optimal max response:   %d\n" rho
+  | None -> Printf.printf "optimal max response:   none within horizon\n"
+
+let exact_cmd =
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Solve a tiny instance exactly by branch and bound.")
+    Term.(const exact $ instance_arg)
+
+(* ----- figures ----- *)
+
+let figures m tries =
+  let grid =
+    Flowsched_sim.Experiment.fig6_grid ~m ~tries ~seed:2020
+      ~congestion:[ 1. /. 3.; 2. /. 3.; 1.; 2.; 4. ]
+      ~rounds:[ 6; 8; 10 ] ()
+  in
+  let results =
+    Flowsched_sim.Experiment.run_grid
+      ~policies:Flowsched_online.Heuristics.all_paper_heuristics
+      ~progress:(fun msg -> Printf.eprintf "%s\n%!" msg)
+      grid
+  in
+  print_endline "Figure 6 — average response time:";
+  print_string (Flowsched_sim.Report.fig6_table results);
+  print_newline ();
+  print_endline "Figure 7 — maximum response time:";
+  print_string (Flowsched_sim.Report.fig7_table results)
+
+let figures_cmd =
+  let m = Arg.(value & opt int 6 & info [ "m" ] ~doc:"Ports per side.") in
+  let tries = Arg.(value & opt int 2 & info [ "tries" ] ~doc:"Trials per cell.") in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Reproduce the paper's Figure 6/7 tables (scaled).")
+    Term.(const figures $ m $ tries)
+
+(* ----- rtt (Theorem 2 reduction demo) ----- *)
+
+let rtt teachers classes seed =
+  let g = Flowsched_util.Prng.create seed in
+  let tsets =
+    Array.init teachers (fun _ ->
+        let size = 2 + Flowsched_util.Prng.int g 2 in
+        let size = min size classes in
+        Flowsched_util.Sampling.sample_without_replacement g size 3
+        |> List.map (fun h -> h + 1))
+  in
+  let assigns =
+    Array.init teachers (fun i ->
+        Flowsched_util.Sampling.sample_without_replacement g (List.length tsets.(i)) classes)
+  in
+  let instance = { Hardness.teachers; classes; tsets; assigns } in
+  (match Hardness.validate instance with
+  | Ok () -> ()
+  | Error msg ->
+      Printf.eprintf "error: generated RTT invalid (%s); try another seed\n" msg;
+      exit 1);
+  Printf.printf "Restricted Timetable instance (seed %d):\n" seed;
+  Array.iteri
+    (fun i ts ->
+      Printf.printf "  teacher %d: hours {%s}, classes {%s}\n" i
+        (String.concat "," (List.map string_of_int ts))
+        (String.concat "," (List.map string_of_int assigns.(i))))
+    tsets;
+  let sat = Hardness.satisfiable instance in
+  Printf.printf "satisfiable: %b\n" sat;
+  let red = Hardness.reduce instance in
+  Printf.printf "reduced FS-MRT instance: %d flows on a %d-in/%d-out switch, target rho = %d\n"
+    (Instance.n red.Hardness.instance) red.Hardness.instance.Instance.m
+    red.Hardness.instance.Instance.m' red.Hardness.rho;
+  (match Exact.feasible_with_rho red.Hardness.instance ~rho:3 with
+  | Some s ->
+      Printf.printf "exact solver: schedulable with max response 3\n";
+      (match Hardness.timetable_of_schedule instance red s with
+      | Ok f ->
+          Printf.printf "extracted timetable valid: %b\n" (Hardness.check_timetable instance f)
+      | Error e -> Printf.printf "extraction failed: %s\n" e)
+  | None ->
+      Printf.printf "exact solver: NOT schedulable with max response 3 (needs 4)\n");
+  Printf.printf "equivalence holds: %b\n"
+    (sat = (Exact.feasible_with_rho red.Hardness.instance ~rho:3 <> None))
+
+let rtt_cmd =
+  let teachers = Arg.(value & opt int 3 & info [ "teachers" ] ~doc:"Number of teachers.") in
+  let classes = Arg.(value & opt int 4 & info [ "classes" ] ~doc:"Number of classes.") in
+  Cmd.v
+    (Cmd.info "rtt"
+       ~doc:"Demonstrate the Theorem 2 hardness reduction on a random RTT instance.")
+    Term.(const rtt $ teachers $ classes $ seed_term)
+
+(* ----- open-problem ----- *)
+
+let open_problem m rounds trials seed =
+  let s = Open_problem.study ~seed ~m ~rounds ~trials in
+  Printf.printf "Section 6 open problem: slack-1 request sequences on a %dx%d switch\n" m m;
+  Printf.printf "  trials:              %d (%d flows total)\n" s.Open_problem.trials
+    s.Open_problem.flows_total;
+  Printf.printf "  worst slack:         %d\n" s.Open_problem.worst_slack;
+  Printf.printf "  worst LP rho:        %d\n" s.Open_problem.worst_fractional_rho;
+  Printf.printf "  worst MinRTime rho:  %d\n" s.Open_problem.worst_heuristic;
+  (match s.Open_problem.worst_exact with
+  | Some k -> Printf.printf "  worst exact rho:     %d\n" k
+  | None -> Printf.printf "  worst exact rho:     (instances too large)\n")
+
+let open_problem_cmd =
+  let m = Arg.(value & opt int 5 & info [ "ports" ] ~doc:"Ports per side.") in
+  let rounds = Arg.(value & opt int 8 & info [ "rounds" ] ~doc:"Generation rounds.") in
+  let trials = Arg.(value & opt int 10 & info [ "trials" ] ~doc:"Generated instances.") in
+  Cmd.v
+    (Cmd.info "open-problem"
+       ~doc:"Empirically probe the paper's Section 6 constant-response conjecture.")
+    Term.(const open_problem $ m $ rounds $ trials $ seed_term)
+
+(* ----- main ----- *)
+
+let () =
+  let doc = "scheduling flows on a switch to optimize response times" in
+  let info = Cmd.info "flowsched" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        generate_cmd;
+        lp_bound_cmd;
+        solve_art_cmd;
+        solve_mrt_cmd;
+        simulate_cmd;
+        exact_cmd;
+        figures_cmd;
+        rtt_cmd;
+        open_problem_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/adversarial_online.ml: Amrt Array Art_lp Engine Flow Flowsched_core Flowsched_online Flowsched_sim Flowsched_switch Heuristics Instance List Lower_bounds Mrt_scheduler Policy Printf Workload

@@ -1,0 +1,1 @@
+examples/coflow_shuffle.ml: Array Coflow Flowsched_core Flowsched_switch Instance List Printf Schedule

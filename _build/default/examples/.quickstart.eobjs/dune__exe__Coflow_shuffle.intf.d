@@ -1,0 +1,1 @@
+examples/coflow_shuffle.mli:

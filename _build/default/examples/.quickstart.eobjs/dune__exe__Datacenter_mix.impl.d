@@ -1,0 +1,1 @@
+examples/datacenter_mix.ml: Art_lp Art_scheduler Engine Flowsched_core Flowsched_online Flowsched_sim Flowsched_switch Flowsched_util Heuristics Instance List Policy Printf Schedule Table Workload

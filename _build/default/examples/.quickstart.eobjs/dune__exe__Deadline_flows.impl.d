@@ -1,0 +1,1 @@
+examples/deadline_flows.ml: Array Flow Flowsched_core Flowsched_switch Instance Mrt_rounding Mrt_scheduler Printf Schedule

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Art_lp Art_scheduler Flow Flowsched_core Flowsched_online Flowsched_sim Flowsched_switch Format Instance Mrt_scheduler Printf Schedule

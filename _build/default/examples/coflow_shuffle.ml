@@ -1,0 +1,52 @@
+(* Co-flow scheduling: the paper's future-work generalization, in action.
+
+   Scenario: three MapReduce-style shuffle stages on an 4x4 switch.  Each
+   stage is a co-flow — it finishes only when its last flow does.  A small
+   interactive query (1 flow) competes with two large batch shuffles; SEBF
+   (smallest effective bottleneck first) protects the small job while plain
+   per-flow FIFO lets the batch traffic bury it.
+
+   Run with: dune exec examples/coflow_shuffle.exe *)
+
+open Flowsched_switch
+open Flowsched_core
+
+let () =
+  let m = 4 in
+  (* group 0: interactive query, a single flow.
+     group 1: shuffle A, all-to-all from inputs {0,1} to outputs {0,1}.
+     group 2: shuffle B, heavy fan-in to output 3. *)
+  let specs_with_groups =
+    [
+      ((0, 0, 1, 0), 1); ((0, 1, 1, 0), 1); ((1, 0, 1, 0), 1); ((1, 1, 1, 0), 1);
+      ((0, 3, 1, 0), 2); ((1, 3, 1, 0), 2); ((2, 3, 1, 0), 2); ((3, 3, 1, 0), 2);
+      ((0, 3, 1, 1), 2); ((1, 3, 1, 1), 2);
+      (* the interactive query arrives last and contends with shuffle B on
+         output 3: group-blind FIFO (release, id) buries it behind the
+         batch flows *)
+      ((2, 3, 1, 0), 0);
+    ]
+  in
+  let inst = Instance.of_flows ~m ~m':m (List.map fst specs_with_groups) in
+  let group_of = Array.of_list (List.map snd specs_with_groups) in
+  let cf = Coflow.make inst ~group_of in
+  Printf.printf "%d flows in %d co-flows; bottlenecks:" (Instance.n inst) cf.Coflow.groups;
+  for gid = 0 to cf.Coflow.groups - 1 do
+    Printf.printf " job%d=%d" gid (Coflow.bottleneck cf gid)
+  done;
+  print_newline ();
+  let report label schedule =
+    let rts = Coflow.response_times cf schedule in
+    Printf.printf "\n%s: avg co-flow response %.2f, max %d\n" label
+      (Coflow.average_response cf schedule)
+      (Coflow.max_response cf schedule);
+    Array.iteri (fun gid rt -> Printf.printf "  job %d: response %d\n" gid rt) rts;
+    print_string (Schedule.render_timeline inst schedule)
+  in
+  report "SEBF (bottleneck-ordered)" (Coflow.sebf cf);
+  report "group-blind FIFO" (Coflow.flow_fifo cf);
+  print_newline ();
+  print_endline
+    "SEBF finishes the interactive query and the small shuffle before the heavy\n\
+     fan-in job, cutting the average co-flow response — the effect Varys-style\n\
+     schedulers exploit, and the regime the paper's future work points to."

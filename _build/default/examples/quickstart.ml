@@ -1,0 +1,62 @@
+(* Quickstart: build a switch instance, compute LP lower bounds, run both
+   offline approximation algorithms and an online heuristic.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Flowsched_switch
+open Flowsched_core
+
+let () =
+  (* A 3x3 unit-capacity switch and seven unit flows.  (src, dst, demand,
+     release); flow ids are assigned in order. *)
+  let inst =
+    Instance.of_flows ~m:3 ~m':3
+      [
+        (0, 0, 1, 0);
+        (0, 1, 1, 0);
+        (1, 0, 1, 0);
+        (1, 2, 1, 1);
+        (2, 2, 1, 1);
+        (2, 0, 1, 2);
+        (0, 2, 1, 2);
+      ]
+  in
+  Format.printf "instance: %a@." Instance.pp inst;
+
+  (* Lower bounds from the two LP relaxations. *)
+  let bound = Art_lp.lower_bound inst in
+  let rho_lp = Mrt_scheduler.min_fractional_rho inst in
+  Printf.printf "LP lower bounds: total response >= %.2f, max response >= %d\n\n"
+    bound.Art_lp.total rho_lp;
+
+  (* Offline FS-ART (Theorem 1): average response within (1 + O(log n)/c) of
+     optimal using (1+c)x port capacity. *)
+  let art = Art_scheduler.solve ~c:1 inst in
+  Printf.printf "FS-ART schedule (2x capacities): total response %d (LP bound %.2f)\n"
+    art.Art_scheduler.total_response art.Art_scheduler.lp_total;
+  assert (Schedule.is_valid art.Art_scheduler.augmented art.Art_scheduler.schedule);
+
+  (* Offline FS-MRT (Theorem 3): optimal maximum response using +2dmax-1
+     capacity. *)
+  let mrt = Mrt_scheduler.solve inst in
+  Printf.printf "FS-MRT schedule (+%d capacity): max response %d (fractional optimum %d)\n"
+    ((2 * Instance.dmax inst) - 1)
+    mrt.Mrt_scheduler.rho mrt.Mrt_scheduler.fractional_rho;
+  assert (Schedule.is_valid mrt.Mrt_scheduler.augmented mrt.Mrt_scheduler.schedule);
+
+  (* Online MaxWeight through the simulator. *)
+  let r = Flowsched_sim.Engine.run_instance Flowsched_online.Heuristics.maxweight inst in
+  Printf.printf "online MaxWeight: avg response %.2f, max response %d\n"
+    (Flowsched_sim.Engine.average_response r)
+    (Flowsched_sim.Engine.max_response r);
+
+  (* Every flow's placement, for the curious. *)
+  print_newline ();
+  Array.iter
+    (fun (f : Flow.t) ->
+      Printf.printf "  flow %d (%d->%d, released %d): ART round %d, MRT round %d, online %d\n"
+        f.Flow.id f.Flow.src f.Flow.dst f.Flow.release
+        (Schedule.round_of art.Art_scheduler.schedule f.Flow.id)
+        (Schedule.round_of mrt.Mrt_scheduler.schedule f.Flow.id)
+        (Schedule.round_of r.Flowsched_sim.Engine.schedule f.Flow.id))
+    inst.Instance.flows

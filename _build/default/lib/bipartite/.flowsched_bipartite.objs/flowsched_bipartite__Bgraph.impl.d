@@ -1,0 +1,1 @@
+lib/bipartite/bgraph.ml: Array List

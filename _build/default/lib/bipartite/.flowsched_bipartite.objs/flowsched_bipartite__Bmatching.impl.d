@@ -1,0 +1,1 @@
+lib/bipartite/bmatching.ml: Array Bgraph

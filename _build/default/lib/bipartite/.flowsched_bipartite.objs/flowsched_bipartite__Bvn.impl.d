@@ -1,0 +1,1 @@
+lib/bipartite/bvn.ml: Array Bgraph Bmatching Edge_coloring List

@@ -1,0 +1,1 @@
+lib/bipartite/bvn.mli: Bgraph

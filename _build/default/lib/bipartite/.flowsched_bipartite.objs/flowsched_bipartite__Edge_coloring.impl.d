@@ -1,0 +1,1 @@
+lib/bipartite/edge_coloring.ml: Array Bgraph Hashtbl List

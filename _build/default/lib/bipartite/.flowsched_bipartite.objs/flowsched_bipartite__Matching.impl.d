@@ -1,0 +1,1 @@
+lib/bipartite/matching.ml: Array Bgraph List Queue

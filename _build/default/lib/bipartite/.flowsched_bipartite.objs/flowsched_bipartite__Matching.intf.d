@@ -1,0 +1,1 @@
+lib/bipartite/matching.mli: Bgraph

@@ -1,0 +1,1 @@
+lib/bipartite/weighted_matching.ml: Array Bgraph List

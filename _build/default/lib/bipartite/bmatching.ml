@@ -1,0 +1,43 @@
+type t = { graph : Bgraph.t; left_copy : int array; right_copy : int array }
+
+let expand (g : Bgraph.t) ~cl ~cr =
+  let ne = Bgraph.num_edges g in
+  let off_l = Array.make (g.Bgraph.nl + 1) 0 in
+  for u = 0 to g.Bgraph.nl - 1 do
+    if cl.(u) < 0 then invalid_arg "Bmatching.expand: negative capacity";
+    off_l.(u + 1) <- off_l.(u) + max cl.(u) 1
+  done;
+  let off_r = Array.make (g.Bgraph.nr + 1) 0 in
+  for v = 0 to g.Bgraph.nr - 1 do
+    if cr.(v) < 0 then invalid_arg "Bmatching.expand: negative capacity";
+    off_r.(v + 1) <- off_r.(v) + max cr.(v) 1
+  done;
+  let next_l = Array.make g.Bgraph.nl 0 and next_r = Array.make g.Bgraph.nr 0 in
+  let left_copy = Array.make ne 0 and right_copy = Array.make ne 0 in
+  let pairs =
+    Array.init ne (fun e ->
+        let { Bgraph.u; v } = Bgraph.edge g e in
+        if cl.(u) = 0 || cr.(v) = 0 then
+          invalid_arg "Bmatching.expand: edge incident to zero-capacity vertex";
+        let ku = next_l.(u) mod cl.(u) and kv = next_r.(v) mod cr.(v) in
+        next_l.(u) <- next_l.(u) + 1;
+        next_r.(v) <- next_r.(v) + 1;
+        left_copy.(e) <- ku;
+        right_copy.(e) <- kv;
+        (off_l.(u) + ku, off_r.(v) + kv))
+  in
+  let graph =
+    Bgraph.create ~nl:off_l.(g.Bgraph.nl) ~nr:off_r.(g.Bgraph.nr) pairs
+  in
+  { graph; left_copy; right_copy }
+
+let max_copy_degree (g : Bgraph.t) ~cl ~cr =
+  let dl, dr = Bgraph.degrees g in
+  let worst = ref 0 in
+  Array.iteri
+    (fun u d -> if d > 0 then worst := max !worst ((d + cl.(u) - 1) / cl.(u)))
+    dl;
+  Array.iteri
+    (fun v d -> if d > 0 then worst := max !worst ((d + cr.(v) - 1) / cr.(v)))
+    dr;
+  !worst

@@ -1,0 +1,20 @@
+(** Reduction from b-matchings to matchings by port replication.
+
+    Theorem 1's general-capacity case replicates each port [p] into [c_p]
+    copies and spreads the incident edges round-robin over the copies; a
+    matching in the expanded graph is a b-matching in the original.  The
+    expansion keeps edge indices aligned: edge [i] of the expanded graph
+    corresponds to edge [i] of the input. *)
+
+type t = {
+  graph : Bgraph.t;  (** Expanded unit-capacity graph. *)
+  left_copy : int array;  (** Copy index assigned to each edge's left end. *)
+  right_copy : int array;
+}
+
+val expand : Bgraph.t -> cl:int array -> cr:int array -> t
+(** Capacities must be >= 1 for every vertex incident to an edge. *)
+
+val max_copy_degree : Bgraph.t -> cl:int array -> cr:int array -> int
+(** The maximum degree of the expanded graph:
+    [max over vertices of ceil(degree / capacity)]. *)

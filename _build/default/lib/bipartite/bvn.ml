@@ -1,0 +1,25 @@
+let classes_of_coloring ne colors =
+  let ncolors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 colors in
+  let classes = Array.make ncolors [] in
+  for e = ne - 1 downto 0 do
+    classes.(colors.(e)) <- e :: classes.(colors.(e))
+  done;
+  (* Largest classes first: when color classes become rounds, this front-
+     loads the work. *)
+  Array.sort (fun a b -> compare (List.length b) (List.length a)) classes;
+  classes
+
+let decompose g =
+  let ne = Bgraph.num_edges g in
+  if ne = 0 then [||]
+  else classes_of_coloring ne (Edge_coloring.color g)
+
+let decompose_b_matching g ~cl ~cr =
+  let ne = Bgraph.num_edges g in
+  if ne = 0 then [||]
+  else begin
+    let expansion = Bmatching.expand g ~cl ~cr in
+    (* Edge i of the expansion is edge i of g, so the expanded coloring is
+       directly a coloring of g's edges into b-matchings. *)
+    classes_of_coloring ne (Edge_coloring.color expansion.Bmatching.graph)
+  end

@@ -1,0 +1,20 @@
+(** Birkhoff–von Neumann-style decomposition of a bipartite multigraph into
+    matchings.
+
+    A multigraph with maximum degree d decomposes into exactly d matchings
+    (König).  This is the step the paper invokes ("Applying the Birkhoff-von
+    Neumann Theorem, G can be decomposed into at most d matchings in
+    polynomial time") to turn the combined interval graph of a
+    pseudo-schedule into per-round matchings. *)
+
+val decompose : Bgraph.t -> int list array
+(** [decompose g] returns [max_degree g] edge-id classes; every class is a
+    matching of [g] and every edge appears in exactly one class.  Classes are
+    ordered largest-first so that greedy emission keeps early rounds busy. *)
+
+val decompose_b_matching : Bgraph.t -> cl:int array -> cr:int array -> int list array
+(** [decompose_b_matching g ~cl ~cr] decomposes [g] into b-matchings with
+    respect to the capacities: each returned class has degree at most
+    [cl.(u)] at each left vertex and [cr.(v)] at each right vertex.  The
+    number of classes is [max_p ceil(deg p / cap p)], realized through the
+    port-replication expansion of Theorem 1. *)

@@ -1,0 +1,83 @@
+let color (g : Bgraph.t) =
+  let ne = Bgraph.num_edges g in
+  let ncolors = max (Bgraph.max_degree g) 1 in
+  (* cl.(u).(c) / cr.(v).(c): edge currently colored c at that vertex, -1 if
+     the color is free there. *)
+  let cl = Array.make_matrix g.Bgraph.nl ncolors (-1) in
+  let cr = Array.make_matrix g.Bgraph.nr ncolors (-1) in
+  let colors = Array.make ne (-1) in
+  let free tbl x =
+    let rec go c =
+      if c >= ncolors then failwith "Edge_coloring.color: no free color (degree overflow)"
+      else if tbl.(x).(c) = -1 then c
+      else go (c + 1)
+    in
+    go 0
+  in
+  let assign e c =
+    let { Bgraph.u; v } = Bgraph.edge g e in
+    colors.(e) <- c;
+    cl.(u).(c) <- e;
+    cr.(v).(c) <- e
+  in
+  let unassign e =
+    let { Bgraph.u; v } = Bgraph.edge g e in
+    let c = colors.(e) in
+    cl.(u).(c) <- -1;
+    cr.(v).(c) <- -1;
+    colors.(e) <- -1
+  in
+  for e = 0 to ne - 1 do
+    let { Bgraph.u; v } = Bgraph.edge g e in
+    let a = free cl u in
+    let b = free cr v in
+    if a = b then assign e a
+    else begin
+      (* Flip the alternating a/b path starting at v: follow the edge colored
+         a at v, then the edge colored b at its left endpoint, and so on.
+         The path cannot reach u (u has no a-edge and the path enters left
+         vertices only through a-edges), so after swapping a and b on the
+         path, color a is free at both u and v. *)
+      let path = ref [] in
+      let rec walk_right vertex col =
+        let e' = cr.(vertex).(col) in
+        if e' >= 0 then begin
+          path := e' :: !path;
+          walk_left (Bgraph.edge g e').Bgraph.u (if col = a then b else a)
+        end
+      and walk_left vertex col =
+        let e' = cl.(vertex).(col) in
+        if e' >= 0 then begin
+          path := e' :: !path;
+          walk_right (Bgraph.edge g e').Bgraph.v (if col = a then b else a)
+        end
+      in
+      walk_right v a;
+      let path_edges = !path in
+      let old_colors = List.map (fun e' -> colors.(e')) path_edges in
+      List.iter unassign path_edges;
+      List.iter2
+        (fun e' c -> assign e' (if c = a then b else a))
+        path_edges old_colors;
+      assign e a
+    end
+  done;
+  colors
+
+let is_proper (g : Bgraph.t) colors =
+  if Array.length colors <> Bgraph.num_edges g then false
+  else begin
+    let seen = Hashtbl.create 64 in
+    let ok = ref true in
+    Array.iteri
+      (fun e c ->
+        if c < 0 then ok := false
+        else begin
+          let { Bgraph.u; v } = Bgraph.edge g e in
+          if Hashtbl.mem seen (`L, u, c) || Hashtbl.mem seen (`R, v, c) then ok := false;
+          Hashtbl.replace seen (`L, u, c) ();
+          Hashtbl.replace seen (`R, v, c) ()
+        end)
+      colors;
+    !ok
+  end

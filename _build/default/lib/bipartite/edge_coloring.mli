@@ -1,0 +1,16 @@
+(** Proper edge coloring of bipartite multigraphs with Δ colors.
+
+    By König's edge-coloring theorem a bipartite multigraph of maximum degree
+    Δ is Δ-edge-colorable; the constructive algorithm used here inserts edges
+    one at a time and resolves conflicts by flipping an alternating two-color
+    path (O(E·V) overall).  Color classes are matchings, which is how the
+    Birkhoff–von Neumann step of Theorem 1 turns interval graphs into
+    per-round matchings. *)
+
+val color : Bgraph.t -> int array
+(** [color g] returns a color in [\[0, max_degree g)] per edge such that no
+    two edges sharing a vertex receive the same color.  The empty graph
+    yields an empty array. *)
+
+val is_proper : Bgraph.t -> int array -> bool
+(** Validity check used by tests: every color class is a matching. *)

@@ -1,0 +1,83 @@
+(* Hopcroft-Karp.  match_l.(u) / match_r.(v) hold the matched *edge id* or
+   -1; working through edge ids keeps parallel edges distinguishable. *)
+
+let run (g : Bgraph.t) =
+  let nl = g.Bgraph.nl in
+  let adj = Bgraph.adj_left g in
+  let match_l = Array.make nl (-1) in
+  let match_r = Array.make g.Bgraph.nr (-1) in
+  let dist = Array.make nl max_int in
+  let queue = Queue.create () in
+  let edge_v i = (Bgraph.edge g i).Bgraph.v in
+  let edge_u i = (Bgraph.edge g i).Bgraph.u in
+  (* BFS layers from free left vertices. *)
+  let bfs () =
+    Queue.clear queue;
+    let found = ref false in
+    for u = 0 to nl - 1 do
+      if match_l.(u) = -1 then begin
+        dist.(u) <- 0;
+        Queue.add u queue
+      end
+      else dist.(u) <- max_int
+    done;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      List.iter
+        (fun e ->
+          let v = edge_v e in
+          match match_r.(v) with
+          | -1 -> found := true
+          | e' ->
+              let u' = edge_u e' in
+              if dist.(u') = max_int then begin
+                dist.(u') <- dist.(u) + 1;
+                Queue.add u' queue
+              end)
+        adj.(u)
+    done;
+    !found
+  in
+  let rec dfs u =
+    let rec try_edges = function
+      | [] ->
+          dist.(u) <- max_int;
+          false
+      | e :: rest ->
+          let v = edge_v e in
+          let ok =
+            match match_r.(v) with
+            | -1 -> true
+            | e' ->
+                let u' = edge_u e' in
+                dist.(u') = dist.(u) + 1 && dfs u'
+          in
+          if ok then begin
+            match_l.(u) <- e;
+            match_r.(v) <- e;
+            true
+          end
+          else try_edges rest
+    in
+    try_edges adj.(u)
+  in
+  let continue = ref true in
+  while !continue do
+    if bfs () then begin
+      let progressed = ref false in
+      for u = 0 to nl - 1 do
+        if match_l.(u) = -1 && dfs u then progressed := true
+      done;
+      if not !progressed then continue := false
+    end
+    else continue := false
+  done;
+  match_l
+
+let max_cardinality g =
+  let match_l = run g in
+  Array.fold_left (fun acc e -> if e >= 0 then e :: acc else acc) [] match_l
+
+let max_cardinality_size g =
+  let match_l = run g in
+  Array.fold_left (fun acc e -> if e >= 0 then acc + 1 else acc) 0 match_l

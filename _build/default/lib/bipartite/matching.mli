@@ -1,0 +1,10 @@
+(** Maximum-cardinality bipartite matching (Hopcroft–Karp, O(E√V)).
+
+    Used by the MaxCard online heuristic and as the engine behind several
+    validation oracles. *)
+
+val max_cardinality : Bgraph.t -> int list
+(** Edge ids of a maximum-cardinality matching. *)
+
+val max_cardinality_size : Bgraph.t -> int
+(** Just the size, without materializing the edge list. *)

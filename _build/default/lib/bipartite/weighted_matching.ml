@@ -1,0 +1,107 @@
+let weight_of w ids = List.fold_left (fun acc e -> acc +. w.(e)) 0. ids
+
+(* Hungarian algorithm for the square assignment problem, minimizing.
+   1-indexed arrays as in the classic potentials formulation.  [a] is
+   (n+1) x (n+1) with row/column 0 unused.  Returns [p] where p.(j) = row
+   assigned to column j. *)
+let hungarian_min n a =
+  let inf = infinity in
+  let u = Array.make (n + 1) 0. and v = Array.make (n + 1) 0. in
+  let p = Array.make (n + 1) 0 and way = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    p.(0) <- i;
+    let j0 = ref 0 in
+    let minv = Array.make (n + 1) inf in
+    let used = Array.make (n + 1) false in
+    let continue = ref true in
+    while !continue do
+      used.(!j0) <- true;
+      let i0 = p.(!j0) in
+      let delta = ref inf and j1 = ref (-1) in
+      for j = 1 to n do
+        if not used.(j) then begin
+          let cur = a.(i0).(j) -. u.(i0) -. v.(j) in
+          if cur < minv.(j) then begin
+            minv.(j) <- cur;
+            way.(j) <- !j0
+          end;
+          if minv.(j) < !delta then begin
+            delta := minv.(j);
+            j1 := j
+          end
+        end
+      done;
+      for j = 0 to n do
+        if used.(j) then begin
+          u.(p.(j)) <- u.(p.(j)) +. !delta;
+          v.(j) <- v.(j) -. !delta
+        end
+        else minv.(j) <- minv.(j) -. !delta
+      done;
+      j0 := !j1;
+      if p.(!j0) = 0 then continue := false
+    done;
+    (* augment along the found path *)
+    let j = ref !j0 in
+    while !j <> 0 do
+      let j1 = way.(!j) in
+      p.(!j) <- p.(j1);
+      j := j1
+    done
+  done;
+  p
+
+let max_weight (g : Bgraph.t) w =
+  let ne = Bgraph.num_edges g in
+  if Array.length w <> ne then invalid_arg "Weighted_matching.max_weight: weight length";
+  if ne = 0 then []
+  else begin
+    (* Compact the vertex sets to the ones actually touched by edges. *)
+    let lmap = Array.make g.Bgraph.nl (-1) and rmap = Array.make g.Bgraph.nr (-1) in
+    let lverts = ref [] and rverts = ref [] in
+    let nl = ref 0 and nr = ref 0 in
+    Array.iter
+      (fun { Bgraph.u; v } ->
+        if lmap.(u) = -1 then begin
+          lmap.(u) <- !nl;
+          lverts := u :: !lverts;
+          incr nl
+        end;
+        if rmap.(v) = -1 then begin
+          rmap.(v) <- !nr;
+          rverts := v :: !rverts;
+          incr nr
+        end)
+      g.Bgraph.edges;
+    let n = max !nl !nr in
+    (* Best non-negative weight and witness edge per compacted pair; pairs
+       without an edge keep weight 0, which encodes "leave unmatched". *)
+    let best_w = Array.make_matrix n n 0. in
+    let best_e = Array.make_matrix n n (-1) in
+    for e = 0 to ne - 1 do
+      let { Bgraph.u; v } = Bgraph.edge g e in
+      let i = lmap.(u) and j = rmap.(v) in
+      if w.(e) >= 0. && (best_e.(i).(j) = -1 || w.(e) > best_w.(i).(j)) then begin
+        best_w.(i).(j) <- w.(e);
+        best_e.(i).(j) <- e
+      end
+    done;
+    let wmax = Array.fold_left (fun acc row -> Array.fold_left max acc row) 0. best_w in
+    (* Assignment cost: wmax - weight, so maximizing weight = minimizing cost. *)
+    let a = Array.make_matrix (n + 1) (n + 1) 0. in
+    for i = 1 to n do
+      for j = 1 to n do
+        a.(i).(j) <- wmax -. best_w.(i - 1).(j - 1)
+      done
+    done;
+    let p = hungarian_min n a in
+    let result = ref [] in
+    for j = 1 to n do
+      let i = p.(j) in
+      if i >= 1 then begin
+        let e = best_e.(i - 1).(j - 1) in
+        if e >= 0 then result := e :: !result
+      end
+    done;
+    !result
+  end

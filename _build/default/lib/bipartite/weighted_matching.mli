@@ -1,0 +1,15 @@
+(** Maximum-weight bipartite matching.
+
+    Dense Hungarian algorithm (potentials formulation, O(n³)) on the active
+    vertices.  Vertices may stay unmatched, so the result maximizes total
+    weight rather than cardinality; edges of negative weight are never used.
+    Among maximum-weight matchings the algorithm may include zero-weight
+    edges, which is what the online heuristics want (work conservation is
+    then controlled by the caller through its weight function). *)
+
+val max_weight : Bgraph.t -> float array -> int list
+(** [max_weight g w] returns edge ids of a matching maximizing
+    [sum of w.(e)].  [w] must have an entry per edge. *)
+
+val weight_of : float array -> int list -> float
+(** Total weight of an edge id list. *)

@@ -1,0 +1,1 @@
+lib/core/art_lp.ml: Array Flow Flowsched_lp Flowsched_switch Hashtbl Instance List Printf

@@ -1,0 +1,1 @@
+lib/core/art_lp.mli: Flowsched_lp Flowsched_switch

@@ -1,0 +1,1 @@
+lib/core/art_scheduler.ml: Array Art_lp Flow Flowsched_bipartite Flowsched_switch Instance Iterative_rounding List Schedule

@@ -1,0 +1,1 @@
+lib/core/art_scheduler.mli: Flowsched_switch Iterative_rounding

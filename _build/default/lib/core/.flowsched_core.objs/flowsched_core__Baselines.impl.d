@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Flow Flowsched_bipartite Flowsched_switch Hashtbl Instance List Schedule

@@ -1,0 +1,1 @@
+lib/core/coflow.ml: Array Baselines Flow Flowsched_switch Flowsched_util Instance List Schedule

@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Flow Flowsched_switch Instance Schedule

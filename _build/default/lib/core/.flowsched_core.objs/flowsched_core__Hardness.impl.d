@@ -1,0 +1,1 @@
+lib/core/hardness.ml: Array Flow Flowsched_switch Hashtbl Instance List Printf Schedule

@@ -1,0 +1,1 @@
+lib/core/iterative_rounding.ml: Array Art_lp Float Flow Flowsched_lp Flowsched_switch Hashtbl Instance List Printf Schedule

@@ -1,0 +1,1 @@
+lib/core/iterative_rounding.mli: Flowsched_switch

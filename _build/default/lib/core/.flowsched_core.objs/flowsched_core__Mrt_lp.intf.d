@@ -1,0 +1,1 @@
+lib/core/mrt_lp.mli: Flowsched_switch Hashtbl

@@ -1,0 +1,1 @@
+lib/core/mrt_rounding.ml: Array Flow Flowsched_switch Hashtbl Instance List Mrt_lp Schedule

@@ -1,0 +1,1 @@
+lib/core/mrt_rounding.mli: Flowsched_switch Mrt_lp

@@ -1,0 +1,1 @@
+lib/core/mrt_scheduler.ml: Art_lp Flowsched_switch Instance Mrt_lp Mrt_rounding Schedule

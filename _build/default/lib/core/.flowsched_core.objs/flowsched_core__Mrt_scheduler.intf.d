@@ -1,0 +1,1 @@
+lib/core/mrt_scheduler.mli: Flowsched_switch Mrt_rounding

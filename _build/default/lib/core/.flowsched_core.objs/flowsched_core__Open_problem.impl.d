@@ -1,0 +1,1 @@
+lib/core/open_problem.ml: Array Exact Flow Flowsched_bipartite Flowsched_switch Flowsched_util Instance List Mrt_scheduler Prng Sampling Schedule

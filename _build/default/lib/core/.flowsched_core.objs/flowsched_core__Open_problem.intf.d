@@ -1,0 +1,1 @@
+lib/core/open_problem.mli: Flowsched_switch

@@ -1,0 +1,182 @@
+open Flowsched_switch
+module Model = Flowsched_lp.Model
+module Simplex = Flowsched_lp.Simplex
+
+type built = {
+  model : Model.t;
+  var : int -> int -> Model.var option;
+  vars_of_flow : (int * Model.var) list array;
+  horizon : int;
+}
+
+let default_horizon inst =
+  let load_in = Array.make inst.Instance.m 0 in
+  let load_out = Array.make inst.Instance.m' 0 in
+  Array.iter
+    (fun (f : Flow.t) ->
+      load_in.(f.Flow.src) <- load_in.(f.Flow.src) + f.Flow.demand;
+      load_out.(f.Flow.dst) <- load_out.(f.Flow.dst) + f.Flow.demand)
+    inst.Instance.flows;
+  let worst = ref 1 in
+  Array.iteri
+    (fun p l -> worst := max !worst ((l + inst.Instance.cap_in.(p) - 1) / inst.Instance.cap_in.(p)))
+    load_in;
+  Array.iteri
+    (fun p l ->
+      worst := max !worst ((l + inst.Instance.cap_out.(p) - 1) / inst.Instance.cap_out.(p)))
+    load_out;
+  Instance.last_release inst + !worst + 1
+
+(* Shared construction: per-flow variables over [release, horizon), demand
+   rows; the capacity rows and objective differ between the two programs. *)
+let build ~objective_term ~add_capacity_rows ?horizon inst =
+  let horizon = match horizon with Some h -> h | None -> default_horizon inst in
+  if horizon <= Instance.last_release inst then
+    invalid_arg "Art_lp: horizon does not cover all release times";
+  let model = Model.create () in
+  let n = Instance.n inst in
+  let tbl = Hashtbl.create (4 * n) in
+  let vars_of_flow = Array.make n [] in
+  Array.iter
+    (fun (f : Flow.t) ->
+      let e = f.Flow.id in
+      let vars = ref [] in
+      for t = horizon - 1 downto f.Flow.release do
+        let obj = objective_term inst f t in
+        let v = Model.add_var ~name:(Printf.sprintf "b_%d_%d" e t) ~obj model in
+        Hashtbl.add tbl (e, t) v;
+        vars := (t, v) :: !vars
+      done;
+      vars_of_flow.(e) <- !vars;
+      (* (2)/(6): the flow is fully scheduled across its rounds *)
+      ignore
+        (Model.add_constraint
+           ~name:(Printf.sprintf "demand_%d" e)
+           model
+           (List.map (fun (_, v) -> (v, 1.)) !vars)
+           Model.Ge
+           (float_of_int f.Flow.demand)))
+    inst.Instance.flows;
+  add_capacity_rows model inst horizon tbl;
+  {
+    model;
+    var = (fun e t -> Hashtbl.find_opt tbl (e, t));
+    vars_of_flow;
+    horizon;
+  }
+
+(* Flows grouped by port, for building capacity rows. *)
+let flows_by_port inst =
+  let by_in = Array.make inst.Instance.m [] in
+  let by_out = Array.make inst.Instance.m' [] in
+  Array.iter
+    (fun (f : Flow.t) ->
+      by_in.(f.Flow.src) <- f :: by_in.(f.Flow.src);
+      by_out.(f.Flow.dst) <- f :: by_out.(f.Flow.dst))
+    inst.Instance.flows;
+  (by_in, by_out)
+
+let round_capacity_rows model inst horizon tbl =
+  let by_in, by_out = flows_by_port inst in
+  let add side caps flows_of_port =
+    Array.iteri
+      (fun p flows ->
+        if flows <> [] then
+          for t = 0 to horizon - 1 do
+            let terms =
+              List.filter_map
+                (fun (f : Flow.t) ->
+                  match Hashtbl.find_opt tbl (f.Flow.id, t) with
+                  | Some v -> Some (v, 1.)
+                  | None -> None)
+                flows
+            in
+            if terms <> [] then
+              ignore
+                (Model.add_constraint
+                   ~name:(Printf.sprintf "cap_%s%d_%d" side p t)
+                   model terms Model.Le
+                   (float_of_int caps.(p)))
+          done)
+      flows_of_port
+  in
+  add "in" inst.Instance.cap_in by_in;
+  add "out" inst.Instance.cap_out by_out
+
+let interval_capacity_rows model inst horizon tbl =
+  let by_in, by_out = flows_by_port inst in
+  let nwindows = (horizon + 3) / 4 in
+  let add side caps flows_of_port =
+    Array.iteri
+      (fun p flows ->
+        if flows <> [] then
+          for a = 0 to nwindows - 1 do
+            let terms = ref [] in
+            for t = 4 * a to min ((4 * a) + 3) (horizon - 1) do
+              List.iter
+                (fun (f : Flow.t) ->
+                  match Hashtbl.find_opt tbl (f.Flow.id, t) with
+                  | Some v -> terms := (v, 1.) :: !terms
+                  | None -> ())
+                flows
+            done;
+            if !terms <> [] then
+              ignore
+                (Model.add_constraint
+                   ~name:(Printf.sprintf "icap_%s%d_%d" side p a)
+                   model !terms Model.Le
+                   (4. *. float_of_int caps.(p)))
+          done)
+      flows_of_port
+  in
+  add "in" inst.Instance.cap_in by_in;
+  add "out" inst.Instance.cap_out by_out
+
+let build_round_lp ?horizon inst =
+  let objective_term inst (f : Flow.t) t =
+    let kappa = float_of_int (Instance.kappa inst f) in
+    (float_of_int (t - f.Flow.release) /. float_of_int f.Flow.demand) +. (1. /. (2. *. kappa))
+  in
+  build ~objective_term ~add_capacity_rows:round_capacity_rows ?horizon inst
+
+let build_interval_lp ?horizon inst =
+  let objective_term _inst (f : Flow.t) t =
+    (float_of_int (t - f.Flow.release) /. float_of_int f.Flow.demand) +. 0.5
+  in
+  build ~objective_term ~add_capacity_rows:interval_capacity_rows ?horizon inst
+
+type bound = { total : float; average : float; fractional : float array }
+
+let bound_of_solution inst built denom =
+  let res = Simplex.solve_or_fail built.model in
+  let n = Instance.n inst in
+  let fractional = Array.make n 0. in
+  Array.iteri
+    (fun e vars ->
+      fractional.(e) <-
+        List.fold_left
+          (fun acc (_, v) ->
+            acc +. (Model.objective_coeff built.model v *. res.Simplex.values.(v)))
+          0. vars)
+    built.vars_of_flow;
+  let total = res.Simplex.objective in
+  { total; average = (if denom <= 0. then nan else total /. denom); fractional }
+
+let lower_bound ?horizon inst =
+  let built = build_round_lp ?horizon inst in
+  bound_of_solution inst built (float_of_int (Instance.n inst))
+
+let weighted_lower_bound ?horizon inst ~weights =
+  if Array.length weights <> Instance.n inst then
+    invalid_arg "Art_lp.weighted_lower_bound: one weight per flow";
+  Array.iter
+    (fun w -> if w < 0. then invalid_arg "Art_lp.weighted_lower_bound: negative weight")
+    weights;
+  let objective_term inst (f : Flow.t) t =
+    let kappa = float_of_int (Instance.kappa inst f) in
+    weights.(f.Flow.id)
+    *. ((float_of_int (t - f.Flow.release) /. float_of_int f.Flow.demand)
+       +. (1. /. (2. *. kappa)))
+  in
+  let built = build ~objective_term ~add_capacity_rows:round_capacity_rows ?horizon inst in
+  bound_of_solution inst built (Array.fold_left ( +. ) 0. weights)

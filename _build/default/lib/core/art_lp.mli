@@ -1,0 +1,65 @@
+(** Linear programs for Flow Scheduling to Minimize Average Response Time
+    (FS-ART), Section 3 of the paper.
+
+    Two relaxations are provided:
+
+    - {!lower_bound} solves LP (1)–(4) (the Garg–Kumar-style program with
+      per-round capacity constraints and fractional response-time objective
+      [(t - r_e)/d_e + 1/(2 kappa_e)]).  By Lemma 3.1 its optimum lower
+      bounds the total response time of {e any} schedule that finishes
+      within the chosen horizon.  This is the baseline the paper's Figure 6
+      compares the online heuristics against.
+
+    - {!build_interval_lp} builds LP (5)–(8), the interval-relaxed program
+      (capacity aggregated over length-4 windows, [1/2] additive term) that
+      seeds the iterative rounding of Lemma 3.3.
+
+    The horizon defaults to a value that provably leaves the fractional
+    optimum unconstrained (uniform spreading after the last release is
+    feasible); callers comparing against concrete schedules should pass
+    [~horizon:(max default (makespan of the schedule))] so the bound covers
+    those schedules too. *)
+
+type built = {
+  model : Flowsched_lp.Model.t;
+  var : int -> int -> Flowsched_lp.Model.var option;
+      (** [var e t] is the LP variable for flow [e] in round [t], when it
+          exists ([t >= release_e] and [t < horizon]). *)
+  vars_of_flow : (int * Flowsched_lp.Model.var) list array;
+      (** Per flow, the [(round, var)] pairs in increasing round order. *)
+  horizon : int;
+}
+
+val default_horizon : Flowsched_switch.Instance.t -> int
+(** [last_release + max_p ceil(load_p / c_p) + 1]: spreading every flow
+    uniformly over the rounds after the last release is feasible within this
+    horizon, so the LP optimum is not constrained by it. *)
+
+val build_round_lp : ?horizon:int -> Flowsched_switch.Instance.t -> built
+(** LP (1)–(4): variables [b_{e,t}], demand rows (2), per-round port
+    capacity rows (3), objective [sum ((t - r_e)/d_e + 1/(2 kappa_e))
+    b_{e,t}]. *)
+
+val build_interval_lp : ?horizon:int -> Flowsched_switch.Instance.t -> built
+(** LP (5)–(8): same variables and demand rows, capacity rows aggregated
+    over windows [(4(a-1), 4a]] with right-hand side [4 c_p], objective
+    [sum ((t - r_e)/d_e + 1/2) b_{e,t}]. *)
+
+type bound = {
+  total : float;  (** LP optimum: lower bound on total response time. *)
+  average : float;  (** [total / n]. *)
+  fractional : float array;  (** Per-flow fractional response [Delta_e]. *)
+}
+
+val lower_bound : ?horizon:int -> Flowsched_switch.Instance.t -> bound
+(** Solves LP (1)–(4) and packages the optimum as a response-time lower
+    bound (Lemma 3.1).  Raises [Failure] if the LP is infeasible, which
+    cannot happen for a valid instance and default horizon. *)
+
+val weighted_lower_bound :
+  ?horizon:int -> Flowsched_switch.Instance.t -> weights:float array -> bound
+(** The weighted generalization: scales each flow's objective terms by
+    [weights.(e)] (all weights must be non-negative), so the optimum lower
+    bounds [sum of w_e * rho_e] of any schedule within the horizon — the
+    weighted response objective from the paper's complexity discussion.
+    [average] reports total divided by the weight sum. *)

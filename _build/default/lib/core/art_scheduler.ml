@@ -1,0 +1,212 @@
+open Flowsched_switch
+
+type diagnostics = {
+  h : int;
+  blocks : int;
+  spill_rounds : int;
+  max_classes : int;
+  rounding : Iterative_rounding.diagnostics;
+}
+
+type result = {
+  schedule : Schedule.t;
+  augmented : Instance.t;
+  pseudo : Schedule.t;
+  lp_total : float;
+  total_response : int;
+  diagnostics : diagnostics;
+}
+
+(* Backlog of the pseudo-schedule normalized per port capacity:
+   max over ports p and intervals I of ceil((load_p(I) - c_p |I|) / c_p).
+   This is the K with "degree <= c_p (|I| + K)" that drives the block
+   length. *)
+let normalized_backlog inst pseudo =
+  let horizon = Schedule.makespan pseudo in
+  let load_in = Array.make_matrix inst.Instance.m horizon 0 in
+  let load_out = Array.make_matrix inst.Instance.m' horizon 0 in
+  Array.iteri
+    (fun e (f : Flow.t) ->
+      let r = Schedule.round_of pseudo e in
+      load_in.(f.Flow.src).(r) <- load_in.(f.Flow.src).(r) + f.Flow.demand;
+      load_out.(f.Flow.dst).(r) <- load_out.(f.Flow.dst).(r) + f.Flow.demand)
+    inst.Instance.flows;
+  let worst = ref 0 in
+  let scan caps loads =
+    Array.iteri
+      (fun p per_round ->
+        let best_ending = ref 0 in
+        Array.iter
+          (fun l ->
+            let excess = l - caps.(p) in
+            best_ending := max excess (!best_ending + excess);
+            let normalized = (max !best_ending 0 + caps.(p) - 1) / caps.(p) in
+            worst := max !worst normalized)
+          per_round)
+      loads
+  in
+  scan inst.Instance.cap_in load_in;
+  scan inst.Instance.cap_out load_out;
+  !worst
+
+type factor_result = {
+  schedule : Schedule.t;
+  augmented : Instance.t;
+  factor : int;
+  lp_total : float;
+  total_response : int;
+  rounding : Iterative_rounding.diagnostics;
+}
+
+let solve_factor_augmented ?horizon inst =
+  let pseudo, rounding = Iterative_rounding.run ?horizon inst in
+  (* Smallest uniform capacity factor under which the pseudo-schedule is a
+     valid schedule: driven by the per-round (not interval) overflow. *)
+  let horizon_used = Schedule.makespan pseudo in
+  let load_in = Array.make_matrix inst.Instance.m horizon_used 0 in
+  let load_out = Array.make_matrix inst.Instance.m' horizon_used 0 in
+  Array.iteri
+    (fun e (f : Flow.t) ->
+      let r = Schedule.round_of pseudo e in
+      load_in.(f.Flow.src).(r) <- load_in.(f.Flow.src).(r) + f.Flow.demand;
+      load_out.(f.Flow.dst).(r) <- load_out.(f.Flow.dst).(r) + f.Flow.demand)
+    inst.Instance.flows;
+  let factor = ref 1 in
+  let scan caps loads =
+    Array.iteri
+      (fun p per_round ->
+        Array.iter
+          (fun l -> factor := max !factor ((l + caps.(p) - 1) / caps.(p)))
+          per_round)
+      loads
+  in
+  scan inst.Instance.cap_in load_in;
+  scan inst.Instance.cap_out load_out;
+  let augmented = Instance.scale_capacities inst ~mult:!factor ~add:0 in
+  {
+    schedule = pseudo;
+    augmented;
+    factor = !factor;
+    lp_total = rounding.Iterative_rounding.lp_objective;
+    total_response = Schedule.total_response inst pseudo;
+    rounding;
+  }
+
+(* Shared conversion stage of Theorem 1: chop the pseudo-schedule into
+   blocks of h rounds, decompose each block into b-matchings under the
+   augmented capacities, and emit the matchings after the block. *)
+let convert inst pseudo rounding ~c =
+  let augmented = Instance.scale_capacities inst ~mult:(1 + c) ~add:0 in
+  let n = Instance.n inst in
+  let schedule = Schedule.unassigned n in
+  let backlog = normalized_backlog inst pseudo in
+  let h = max 1 ((backlog + c - 1) / c) in
+  let pseudo_span = Schedule.makespan pseudo in
+  let nblocks = (pseudo_span + h - 1) / h in
+  let by_block = Array.make nblocks [] in
+  Array.iteri
+    (fun e (_ : Flow.t) ->
+      let r = Schedule.round_of pseudo e in
+      by_block.(r / h) <- e :: by_block.(r / h))
+    inst.Instance.flows;
+  let spill = ref 0 and blocks = ref 0 and max_classes = ref 0 in
+  let next_free = ref 0 in
+  Array.iteri
+    (fun j members ->
+      if members <> [] then begin
+        incr blocks;
+        let members = Array.of_list (List.rev members) in
+        let pairs =
+          Array.map
+            (fun e ->
+              let f = inst.Instance.flows.(e) in
+              (f.Flow.src, f.Flow.dst))
+            members
+        in
+        let graph = Flowsched_bipartite.Bgraph.create ~nl:inst.Instance.m ~nr:inst.Instance.m' pairs in
+        let classes =
+          Flowsched_bipartite.Bvn.decompose_b_matching graph
+            ~cl:augmented.Instance.cap_in ~cr:augmented.Instance.cap_out
+        in
+        let d = Array.length classes in
+        max_classes := max !max_classes d;
+        (* Emission window for block j starts after the block's last pseudo
+           round, so every member flow is already released. *)
+        let start = max ((j + 1) * h) !next_free in
+        if d > h then spill := !spill + (d - h);
+        Array.iteri
+          (fun k cls ->
+            List.iter (fun edge -> Schedule.assign schedule members.(edge) (start + k)) cls)
+          classes;
+        next_free := start + d
+      end)
+    by_block;
+  let total_response = Schedule.total_response inst schedule in
+  {
+    schedule;
+    augmented;
+    pseudo;
+    lp_total = rounding.Iterative_rounding.lp_objective;
+    total_response;
+    diagnostics =
+      { h; blocks = !blocks; spill_rounds = !spill; max_classes = !max_classes; rounding };
+  }
+
+let check_unit_demand_inputs name c inst =
+  if c < 1 then invalid_arg (name ^ ": c must be a positive integer");
+  if Instance.dmax inst > 1 then invalid_arg (name ^ ": Theorem 1 requires unit demands")
+
+let solve ?(c = 1) ?horizon inst =
+  check_unit_demand_inputs "Art_scheduler.solve" c inst;
+  let pseudo, rounding = Iterative_rounding.run ?horizon inst in
+  convert inst pseudo rounding ~c
+
+(* Ablation: the same conversion machinery driven by a greedy pseudo-
+   schedule (earliest round whose port loads are below cap + ceil(log2 n))
+   instead of the LP + iterative rounding.  Quantifies what the LP stage
+   buys. *)
+let solve_greedy ?(c = 1) inst =
+  check_unit_demand_inputs "Art_scheduler.solve_greedy" c inst;
+  let n = Instance.n inst in
+  let allowance =
+    int_of_float (ceil (log (float_of_int (n + 1)) /. log 2.))
+  in
+  let horizon = Art_lp.default_horizon inst + allowance + 1 in
+  let load_in = Array.make_matrix inst.Instance.m horizon 0 in
+  let load_out = Array.make_matrix inst.Instance.m' horizon 0 in
+  let pseudo = Schedule.unassigned n in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Flow.compare inst.Instance.flows.(a) inst.Instance.flows.(b)) order;
+  Array.iter
+    (fun e ->
+      let f = inst.Instance.flows.(e) in
+      let rec place t =
+        if t >= horizon then failwith "Art_scheduler.solve_greedy: horizon exhausted"
+        else if
+          load_in.(f.Flow.src).(t) < inst.Instance.cap_in.(f.Flow.src) + allowance
+          && load_out.(f.Flow.dst).(t) < inst.Instance.cap_out.(f.Flow.dst) + allowance
+        then begin
+          load_in.(f.Flow.src).(t) <- load_in.(f.Flow.src).(t) + 1;
+          load_out.(f.Flow.dst).(t) <- load_out.(f.Flow.dst).(t) + 1;
+          Schedule.assign pseudo e t
+        end
+        else place (t + 1)
+      in
+      place f.Flow.release)
+    order;
+  let rounding =
+    {
+      Iterative_rounding.iterations = 0;
+      forced = 0;
+      lp_objective = nan;
+      assignment_cost =
+        Array.fold_left
+          (fun acc (f : Flow.t) ->
+            acc
+            +. float_of_int (Schedule.round_of pseudo f.Flow.id - f.Flow.release)
+            +. 0.5)
+          0. inst.Instance.flows;
+      backlog = Schedule.max_interval_excess inst pseudo;
+    }
+  in
+  convert inst pseudo rounding ~c

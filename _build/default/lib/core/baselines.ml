@@ -1,0 +1,78 @@
+open Flowsched_switch
+
+(* Generic round-driven packer: [pick] selects the flows to schedule from
+   the pending set given the residual capacities of the current round. *)
+let run_rounds inst pick =
+  let n = Instance.n inst in
+  let schedule = Schedule.unassigned n in
+  let pending = ref [] in
+  let remaining = ref n in
+  let by_release = Hashtbl.create 16 in
+  Array.iter
+    (fun (f : Flow.t) ->
+      let cur = try Hashtbl.find by_release f.Flow.release with Not_found -> [] in
+      Hashtbl.replace by_release f.Flow.release (f :: cur))
+    inst.Instance.flows;
+  let t = ref 0 in
+  while !remaining > 0 do
+    (match Hashtbl.find_opt by_release !t with
+    | Some arrivals -> pending := List.rev_append arrivals !pending
+    | None -> ());
+    let chosen = pick !pending in
+    List.iter
+      (fun (f : Flow.t) ->
+        Schedule.assign schedule f.Flow.id !t;
+        decr remaining)
+      chosen;
+    pending := List.filter (fun (f : Flow.t) -> Schedule.round_of schedule f.Flow.id < 0) !pending;
+    incr t
+  done;
+  schedule
+
+let pack_in_order inst order pending =
+  let sorted = List.sort order pending in
+  let res_in = Array.copy inst.Instance.cap_in in
+  let res_out = Array.copy inst.Instance.cap_out in
+  List.filter
+    (fun (f : Flow.t) ->
+      if res_in.(f.Flow.src) >= f.Flow.demand && res_out.(f.Flow.dst) >= f.Flow.demand then begin
+        res_in.(f.Flow.src) <- res_in.(f.Flow.src) - f.Flow.demand;
+        res_out.(f.Flow.dst) <- res_out.(f.Flow.dst) - f.Flow.demand;
+        true
+      end
+      else false)
+    sorted
+
+let fifo inst = run_rounds inst (pack_in_order inst Flow.compare)
+
+let srpt_order inst =
+  let order (a : Flow.t) (b : Flow.t) =
+    match compare a.Flow.demand b.Flow.demand with 0 -> Flow.compare a b | c -> c
+  in
+  run_rounds inst (pack_in_order inst order)
+
+let greedy_maxcard inst =
+  let pick pending =
+    match pending with
+    | [] -> []
+    | _ ->
+        let flows = Array.of_list pending in
+        (* Unit-demand fast path uses the plain graph; general demands fall
+           back to FIFO packing inside the matching by demand-feasibility. *)
+        let pairs = Array.map (fun (f : Flow.t) -> (f.Flow.src, f.Flow.dst)) flows in
+        let g = Flowsched_bipartite.Bgraph.create ~nl:inst.Instance.m ~nr:inst.Instance.m' pairs in
+        if Instance.dmax inst <= 1 then begin
+          let expansion =
+            Flowsched_bipartite.Bmatching.expand g ~cl:inst.Instance.cap_in
+              ~cr:inst.Instance.cap_out
+          in
+          let matched =
+            Flowsched_bipartite.Matching.max_cardinality expansion.Flowsched_bipartite.Bmatching.graph
+          in
+          List.map (fun e -> flows.(e)) matched
+        end
+        else
+          (* capacity-aware greedy on the matching order *)
+          pack_in_order inst Flow.compare pending
+  in
+  run_rounds inst pick

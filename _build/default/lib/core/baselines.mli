@@ -1,0 +1,19 @@
+(** Simple offline baselines.
+
+    These mirror the online heuristics but run directly over an instance,
+    giving the tests and benches cheap upper bounds to sandwich the LP lower
+    bounds against, and serving as the "natural algorithm" comparison points
+    for Theorem 1/Theorem 3 ablations. *)
+
+val fifo : Flowsched_switch.Instance.t -> Flowsched_switch.Schedule.t
+(** Round by round, consider released unscheduled flows in (release, id)
+    order and schedule each if both ports still have residual capacity.
+    Always produces a valid schedule. *)
+
+val greedy_maxcard : Flowsched_switch.Instance.t -> Flowsched_switch.Schedule.t
+(** Round by round, schedule a maximum-cardinality b-matching of the pending
+    flows (Hopcroft–Karp on the port-replicated graph). *)
+
+val srpt_order : Flowsched_switch.Instance.t -> Flowsched_switch.Schedule.t
+(** FIFO packing but ordering pending flows by demand first (smallest
+    demand first, ties by release) — the SPT/SRPT-flavoured baseline. *)

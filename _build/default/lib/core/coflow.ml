@@ -1,0 +1,133 @@
+open Flowsched_switch
+
+type t = { instance : Instance.t; group_of : int array; groups : int }
+
+let make instance ~group_of =
+  let n = Instance.n instance in
+  if Array.length group_of <> n then
+    invalid_arg "Coflow.make: one group per flow required";
+  let groups = Array.fold_left (fun acc g -> max acc (g + 1)) 0 group_of in
+  if groups = 0 && n > 0 then invalid_arg "Coflow.make: empty grouping";
+  let used = Array.make (max groups 1) false in
+  Array.iter
+    (fun g ->
+      if g < 0 || g >= groups then invalid_arg "Coflow.make: group id out of range";
+      used.(g) <- true)
+    group_of;
+  if n > 0 && not (Array.for_all (fun u -> u) (Array.sub used 0 groups)) then
+    invalid_arg "Coflow.make: group ids must be dense";
+  { instance; group_of = Array.copy group_of; groups }
+
+let random_grouping ~seed ~groups instance =
+  let n = Instance.n instance in
+  if groups < 1 || groups > n then invalid_arg "Coflow.random_grouping: need 1 <= groups <= n";
+  let g = Flowsched_util.Prng.create seed in
+  let group_of = Array.init n (fun _ -> Flowsched_util.Prng.int g groups) in
+  (* guarantee density: the first [groups] flows cover every id *)
+  let perm = Array.init n (fun i -> i) in
+  Flowsched_util.Sampling.shuffle g perm;
+  for k = 0 to groups - 1 do
+    group_of.(perm.(k)) <- k
+  done;
+  make instance ~group_of
+
+let members t gid =
+  let out = ref [] in
+  for i = Array.length t.group_of - 1 downto 0 do
+    if t.group_of.(i) = gid then out := i :: !out
+  done;
+  !out
+
+let release t gid =
+  List.fold_left
+    (fun acc e -> min acc t.instance.Instance.flows.(e).Flow.release)
+    max_int (members t gid)
+
+let bottleneck t gid =
+  let demand_in = Array.make t.instance.Instance.m 0 in
+  let demand_out = Array.make t.instance.Instance.m' 0 in
+  List.iter
+    (fun e ->
+      let f = t.instance.Instance.flows.(e) in
+      demand_in.(f.Flow.src) <- demand_in.(f.Flow.src) + f.Flow.demand;
+      demand_out.(f.Flow.dst) <- demand_out.(f.Flow.dst) + f.Flow.demand)
+    (members t gid);
+  let worst = ref 0 in
+  Array.iteri
+    (fun p d ->
+      if d > 0 then
+        worst := max !worst ((d + t.instance.Instance.cap_in.(p) - 1) / t.instance.Instance.cap_in.(p)))
+    demand_in;
+  Array.iteri
+    (fun p d ->
+      if d > 0 then
+        worst :=
+          max !worst ((d + t.instance.Instance.cap_out.(p) - 1) / t.instance.Instance.cap_out.(p)))
+    demand_out;
+  !worst
+
+let response_times t schedule =
+  let completion = Array.make t.groups 0 in
+  Array.iteri
+    (fun e gid ->
+      let round = Schedule.round_of schedule e in
+      if round < 0 then invalid_arg "Coflow.response_times: incomplete schedule";
+      completion.(gid) <- max completion.(gid) (round + 1))
+    t.group_of;
+  Array.mapi (fun gid c -> c - release t gid) completion
+
+let average_response t schedule =
+  if t.groups = 0 then nan
+  else
+    float_of_int (Array.fold_left ( + ) 0 (response_times t schedule))
+    /. float_of_int t.groups
+
+let max_response t schedule = Array.fold_left max 0 (response_times t schedule)
+
+(* Priority scheduler shared by SEBF (and any future ordering): pack
+   released flows each round, trying flows in co-flow priority order. *)
+let priority_schedule t priority_of_group =
+  let inst = t.instance in
+  let n = Instance.n inst in
+  let schedule = Schedule.unassigned n in
+  let remaining = ref n in
+  let round = ref 0 in
+  let key e =
+    let f = inst.Instance.flows.(e) in
+    (priority_of_group t.group_of.(e), f.Flow.release, e)
+  in
+  while !remaining > 0 do
+    let pending =
+      List.init n (fun e -> e)
+      |> List.filter (fun e ->
+             Schedule.round_of schedule e < 0
+             && inst.Instance.flows.(e).Flow.release <= !round)
+      |> List.sort (fun a b -> compare (key a) (key b))
+    in
+    let res_in = Array.copy inst.Instance.cap_in in
+    let res_out = Array.copy inst.Instance.cap_out in
+    List.iter
+      (fun e ->
+        let f = inst.Instance.flows.(e) in
+        if res_in.(f.Flow.src) >= f.Flow.demand && res_out.(f.Flow.dst) >= f.Flow.demand
+        then begin
+          res_in.(f.Flow.src) <- res_in.(f.Flow.src) - f.Flow.demand;
+          res_out.(f.Flow.dst) <- res_out.(f.Flow.dst) - f.Flow.demand;
+          Schedule.assign schedule e !round;
+          decr remaining
+        end)
+      pending;
+    incr round
+  done;
+  schedule
+
+let sebf t =
+  let order =
+    Array.init t.groups (fun gid -> (bottleneck t gid, release t gid, gid))
+  in
+  Array.sort compare order;
+  let rank = Array.make t.groups 0 in
+  Array.iteri (fun pos (_, _, gid) -> rank.(gid) <- pos) order;
+  priority_schedule t (fun gid -> rank.(gid))
+
+let flow_fifo t = Baselines.fifo t.instance

@@ -1,0 +1,53 @@
+(** Co-flows: the generalization the paper's future-work section points to
+    ("more general types of flows (e.g., co-flows)", §6) and that most of
+    its related work studies (Varys, near-optimal coflow scheduling, ...).
+
+    A co-flow is a set of flows belonging to one job (e.g. a shuffle
+    stage); it is released when its first member is and completes only when
+    its {e last} member does, so per-flow response times do not compose and
+    scheduling must reason about groups.  This module adds the co-flow view
+    on top of the existing switch model: grouping metadata, co-flow
+    response metrics, and two schedulers — the SEBF heuristic
+    (smallest-effective-bottleneck-first, the rule Varys popularized) and
+    group-blind FIFO as the baseline it is compared against. *)
+
+type t = private {
+  instance : Flowsched_switch.Instance.t;
+  group_of : int array;  (** flow id -> co-flow id, ids dense in [0, groups). *)
+  groups : int;
+}
+
+val make : Flowsched_switch.Instance.t -> group_of:int array -> t
+(** Raises [Invalid_argument] unless [group_of] assigns every flow a group
+    and group ids are exactly [0..groups-1]. *)
+
+val random_grouping :
+  seed:int -> groups:int -> Flowsched_switch.Instance.t -> t
+(** Assigns flows to [groups] uniformly at random (every group id is used;
+    requires [groups <= n]). *)
+
+val members : t -> int -> int list
+(** Flow ids of a co-flow. *)
+
+val release : t -> int -> int
+(** A co-flow's release: the earliest member release. *)
+
+val bottleneck : t -> int -> int
+(** The effective bottleneck of a co-flow: the maximum over ports of its
+    total demand there, rounded up per unit capacity — a lower bound on the
+    rounds the co-flow needs once started. *)
+
+val response_times : t -> Flowsched_switch.Schedule.t -> int array
+(** Per co-flow: last member completion minus co-flow release. *)
+
+val average_response : t -> Flowsched_switch.Schedule.t -> float
+val max_response : t -> Flowsched_switch.Schedule.t -> int
+
+val sebf : t -> Flowsched_switch.Schedule.t
+(** Smallest-effective-bottleneck-first: co-flows get strict priority by
+    (bottleneck, release); each round packs released flows in that priority
+    order under the port capacities.  Work-conserving, always valid. *)
+
+val flow_fifo : t -> Flowsched_switch.Schedule.t
+(** Group-blind baseline: plain per-flow FIFO packing
+    ({!Baselines.fifo}). *)

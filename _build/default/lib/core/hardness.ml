@@ -1,0 +1,229 @@
+open Flowsched_switch
+
+type rtt = {
+  teachers : int;
+  classes : int;
+  tsets : int list array;
+  assigns : int list array;
+}
+
+let validate r =
+  let ok = ref (Ok ()) in
+  let fail msg = if !ok = Ok () then ok := Error msg in
+  if r.teachers < 1 || r.classes < 1 then fail "need at least one teacher and class";
+  if Array.length r.tsets <> r.teachers || Array.length r.assigns <> r.teachers then
+    fail "tsets/assigns must have one entry per teacher";
+  Array.iteri
+    (fun i ts ->
+      if List.length ts < 2 then fail (Printf.sprintf "teacher %d: |T_i| must be >= 2" i);
+      if List.exists (fun h -> h < 1 || h > 3) ts then
+        fail (Printf.sprintf "teacher %d: hours must be in {1,2,3}" i);
+      if List.sort_uniq compare ts <> ts then
+        fail (Printf.sprintf "teacher %d: T_i must be sorted and duplicate-free" i))
+    r.tsets;
+  Array.iteri
+    (fun i js ->
+      if List.length js <> List.length r.tsets.(i) then
+        fail (Printf.sprintf "teacher %d: |g(i)| must equal |T_i|" i);
+      if List.exists (fun j -> j < 0 || j >= r.classes) js then
+        fail (Printf.sprintf "teacher %d: class out of range" i);
+      if List.sort_uniq compare js <> List.sort compare js then
+        fail (Printf.sprintf "teacher %d: g(i) must be duplicate-free" i))
+    r.assigns;
+  !ok
+
+type reduction = {
+  instance : Instance.t;
+  rho : int;
+  main_flows : (int * int * int) list;
+}
+
+(* Teachers with |T_i| = 2 and 1 in T_i get a gadget (steps 4/5); T_i =
+   {2,3} is enforced by the step-3 blockers alone. *)
+let gadget_kind ts =
+  match ts with [ 1; 3 ] -> `Release_1_3 | [ 1; 2 ] -> `Release_1_2 | _ -> `None
+
+let reduce r =
+  (match validate r with Ok () -> () | Error msg -> invalid_arg ("Hardness.reduce: " ^ msg));
+  let specials =
+    Array.to_list r.tsets
+    |> List.mapi (fun i ts -> (i, gadget_kind ts))
+    |> List.filter (fun (_, k) -> k <> `None)
+  in
+  let num_specials = List.length specials in
+  (* inputs: p_i (m), then w/y/z per class (3 m'), then w/y/z per special *)
+  let m_in = r.teachers + (3 * r.classes) + (3 * num_specials) in
+  let blocker_in j k = r.teachers + (3 * j) + k in
+  let special_in s k = r.teachers + (3 * r.classes) + (3 * s) + k in
+  (* outputs: q_j (m'), then q*_i per special *)
+  let m_out = r.classes + num_specials in
+  let special_out s = r.classes + s in
+  let flows = ref [] and main_flows = ref [] and next_id = ref 0 in
+  let add src dst release =
+    let id = !next_id in
+    incr next_id;
+    flows := Flow.make ~id ~src ~dst ~release () :: !flows;
+    id
+  in
+  (* step 1+2: main flows, released at (min T_i) - 1 (0-based) *)
+  Array.iteri
+    (fun i js ->
+      let release = List.hd r.tsets.(i) - 1 in
+      List.iter
+        (fun j ->
+          let id = add i j release in
+          main_flows := (id, i, j) :: !main_flows)
+        js)
+    r.assigns;
+  (* step 3: three blockers per class, released in round 4 (0-based 3) *)
+  for j = 0 to r.classes - 1 do
+    for k = 0 to 2 do
+      ignore (add (blocker_in j k) j 3)
+    done
+  done;
+  (* steps 4/5: gadgets for teachers with 1 in a 2-element T_i *)
+  List.iteri
+    (fun s (i, kind) ->
+      let dashed_release, dotted_release =
+        match kind with
+        | `Release_1_3 -> (1, 2) (* paper rounds 2 and 3 *)
+        | `Release_1_2 -> (2, 3) (* paper rounds 3 and 4 *)
+        | `None -> assert false
+      in
+      ignore (add i (special_out s) dashed_release);
+      for k = 0 to 2 do
+        ignore (add (special_in s k) (special_out s) dotted_release)
+      done)
+    specials;
+  let instance =
+    Instance.create ~m:m_in ~m':m_out (Array.of_list (List.rev !flows))
+  in
+  { instance; rho = 3; main_flows = List.rev !main_flows }
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+
+let find_timetable r =
+  (match validate r with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Hardness.find_timetable: " ^ msg));
+  (* per teacher, all bijections g(i) -> T_i as (j, h) pair lists *)
+  let options =
+    Array.init r.teachers (fun i ->
+        List.map (fun perm -> List.combine r.assigns.(i) perm) (permutations r.tsets.(i)))
+  in
+  let used = Hashtbl.create 16 in
+  let chosen = Array.make r.teachers [] in
+  let rec go i =
+    if i = r.teachers then true
+    else
+      List.exists
+        (fun pairs ->
+          let free = List.for_all (fun (j, h) -> not (Hashtbl.mem used (j, h))) pairs in
+          free
+          && begin
+               List.iter (fun (j, h) -> Hashtbl.add used (j, h) ()) pairs;
+               chosen.(i) <- pairs;
+               let found = go (i + 1) in
+               if not found then List.iter (fun (j, h) -> Hashtbl.remove used (j, h)) pairs;
+               found
+             end)
+        options.(i)
+  in
+  if go 0 then
+    Some
+      (Array.to_list chosen
+      |> List.mapi (fun i pairs -> List.map (fun (j, h) -> (i, j, h)) pairs)
+      |> List.concat)
+  else None
+
+let satisfiable r = find_timetable r <> None
+
+let check_timetable r f =
+  let ok = ref true in
+  let class_hour = Hashtbl.create 16 and teacher_hour = Hashtbl.create 16 in
+  let covered = Hashtbl.create 16 in
+  List.iter
+    (fun (i, j, h) ->
+      if i < 0 || i >= r.teachers || j < 0 || j >= r.classes then ok := false
+      else begin
+        (* (iv): only allowed classes during available hours *)
+        if not (List.mem j r.assigns.(i)) then ok := false;
+        if not (List.mem h r.tsets.(i)) then ok := false;
+        (* (vi)/(vii): no double-booking *)
+        if Hashtbl.mem class_hour (j, h) then ok := false;
+        Hashtbl.replace class_hour (j, h) ();
+        if Hashtbl.mem teacher_hour (i, h) then ok := false;
+        Hashtbl.replace teacher_hour (i, h) ();
+        Hashtbl.replace covered (i, j) ()
+      end)
+    f;
+  (* (v): every required meeting happens *)
+  Array.iteri
+    (fun i js -> List.iter (fun j -> if not (Hashtbl.mem covered (i, j)) then ok := false) js)
+    r.assigns;
+  !ok
+
+let timetable_of_schedule r red schedule =
+  match Schedule.validate red.instance schedule with
+  | Error msg -> Error ("invalid schedule: " ^ msg)
+  | Ok () ->
+      if Schedule.max_response red.instance schedule > red.rho then
+        Error "schedule exceeds the target response time"
+      else begin
+        ignore r;
+        Ok
+          (List.map
+             (fun (id, i, j) -> (i, j, Schedule.round_of schedule id + 1))
+             red.main_flows)
+      end
+
+let schedule_of_timetable r red f =
+  let schedule = Schedule.unassigned (Instance.n red.instance) in
+  (* main flows from f *)
+  List.iter
+    (fun (id, i, j) ->
+      match List.find_opt (fun (i', j', _) -> i = i' && j = j') f with
+      | Some (_, _, h) -> Schedule.assign schedule id (h - 1)
+      | None -> failwith "Hardness.schedule_of_timetable: timetable misses a meeting")
+    red.main_flows;
+  (* gadget flows exactly as in the proof: blockers at rounds 4,5,6; dashed
+     right at release; dotted in the three rounds after release *)
+  let main_ids = List.map (fun (id, _, _) -> id) red.main_flows in
+  let next_round_for_dst = Hashtbl.create 16 in
+  Array.iter
+    (fun (fl : Flow.t) ->
+      if not (List.mem fl.Flow.id main_ids) then begin
+        if fl.Flow.dst < r.classes then begin
+          (* step-3 blocker: q_j occupied in rounds 3,4,5 (0-based) *)
+          let base =
+            match Hashtbl.find_opt next_round_for_dst fl.Flow.dst with
+            | Some b -> b
+            | None -> 3
+          in
+          Schedule.assign schedule fl.Flow.id base;
+          Hashtbl.replace next_round_for_dst fl.Flow.dst (base + 1)
+        end
+        else begin
+          (* gadget flow on q*_i: dashed runs at release, dotted in release,
+             release+1, release+2 -- but dashed occupies its release round,
+             so dotted flows start one later than the dashed round.  Using a
+             per-destination cursor starting at the dashed release handles
+             both since the dashed flow is added first. *)
+          let base =
+            match Hashtbl.find_opt next_round_for_dst fl.Flow.dst with
+            | Some b -> max b fl.Flow.release
+            | None -> fl.Flow.release
+          in
+          Schedule.assign schedule fl.Flow.id base;
+          Hashtbl.replace next_round_for_dst fl.Flow.dst (base + 1)
+        end
+      end)
+    red.instance.Instance.flows;
+  schedule

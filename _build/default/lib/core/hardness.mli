@@ -1,0 +1,58 @@
+(** The 4/3-hardness reduction for FS-MRT (Theorem 2).
+
+    Restricted Timetable (RTT, Even–Itai–Shamir): [m] teachers, [m']
+    classes, hours [H = {1,2,3}]; teacher [i] is available during hours
+    [T_i] (with [|T_i| >= 2]) and must meet each class in [g(i)] exactly
+    once, where [|g(i)| = |T_i|]; no teacher or class is double-booked in an
+    hour.  The reduction maps an RTT instance to a unit-capacity,
+    unit-demand FS-MRT instance and target response time [rho = 3] whose
+    gadget flows force every "main" flow [p_i -> q_j] into the hours [T_i],
+    so the instance admits a schedule with max response 3 iff the timetable
+    exists.  Since max response is integral, distinguishing 3 from 4 is
+    NP-hard, which rules out approximation below 4/3.
+
+    This module builds the reduction and converts solutions both ways, so
+    the equivalence is machine-checkable on small instances. *)
+
+type rtt = {
+  teachers : int;  (** m *)
+  classes : int;  (** m' *)
+  tsets : int list array;  (** [T_i subseteq {1,2,3}], |T_i| >= 2, sorted. *)
+  assigns : int list array;  (** [g(i) subseteq [0, m')], |g(i)| = |T_i|. *)
+}
+
+val validate : rtt -> (unit, string) result
+
+type reduction = {
+  instance : Flowsched_switch.Instance.t;
+  rho : int;  (** Always 3. *)
+  main_flows : (int * int * int) list;
+      (** [(flow id, teacher i, class j)] for the flows encoding [f]. *)
+}
+
+val reduce : rtt -> reduction
+(** Steps 1–5 of the construction (releases converted to 0-based rounds). *)
+
+val satisfiable : rtt -> bool
+(** Brute-force RTT decision (backtracking over per-teacher bijections
+    [g(i) -> T_i]); exponential, for small instances. *)
+
+val find_timetable : rtt -> (int * int * int) list option
+(** Like {!satisfiable} but returns a witness [f] as [(i, j, h)] triples. *)
+
+val check_timetable : rtt -> (int * int * int) list -> bool
+(** Checks conditions (iv)–(vii) for [f] given as [(i, j, h)] triples with
+    1-based hours: [h ∈ T_i], [j ∈ g(i)], full coverage of [g(i)], no
+    teacher or class double-booked. *)
+
+val timetable_of_schedule :
+  rtt -> reduction -> Flowsched_switch.Schedule.t ->
+  ((int * int * int) list, string) result
+(** Extracts [f] from a schedule of the reduced instance, verifying that the
+    schedule is valid with max response <= 3 first. *)
+
+val schedule_of_timetable :
+  rtt -> reduction -> (int * int * int) list -> Flowsched_switch.Schedule.t
+(** The forward direction of the proof: a valid timetable yields a schedule
+    of the reduced instance with maximum response 3 (gadget flows are placed
+    as in the proof of Theorem 2). *)

@@ -1,0 +1,37 @@
+(** Iterative LP rounding for FS-ART (Lemma 3.3, Figure 2).
+
+    Starting from the interval LP (5)–(8), the procedure repeatedly
+
+    + solves LP(ℓ) to a vertex,
+    + permanently assigns every flow whose variables came out integral,
+    + drops zero variables from the support,
+    + regroups each port's surviving variables into intervals of size
+      [\[4 c_p, 5 c_p)] measured in LP(ℓ) volume (Size), and
+    + relaxes the capacity constraints to those groups (LP(ℓ+1)).
+
+    Lemma 3.5 guarantees the number of unassigned flows at least halves per
+    iteration, so O(log n) LP solves suffice; Lemma 3.7 bounds the resulting
+    backlog — the amount any port is overloaded over any time interval — by
+    O(c_p log n).  The output is therefore a {e pseudo-schedule}: every flow
+    sits in one round, total fractional cost is at most the LP(0) optimum is
+    preserved as a lower bound, and capacity is violated only by a
+    logarithmic additive backlog. *)
+
+type diagnostics = {
+  iterations : int;  (** Number of LP solves. *)
+  forced : int;
+      (** Flows assigned by the numerical last-resort rule (argmax variable)
+          rather than by an integral LP value.  0 in healthy runs. *)
+  lp_objective : float;  (** Optimum of LP(0) — a lower bound on OPT. *)
+  assignment_cost : float;
+      (** Cost of the integral assignment under the LP(0) objective. *)
+  backlog : int;
+      (** Max over ports and intervals of (load - capacity * length) of the
+          pseudo-schedule: the Lemma 3.7 quantity. *)
+}
+
+val run : ?horizon:int -> Flowsched_switch.Instance.t ->
+  Flowsched_switch.Schedule.t * diagnostics
+(** Produces the pseudo-schedule and its diagnostics.  Works for arbitrary
+    demands; Theorem 1's conversion to a valid schedule
+    ({!Art_scheduler.solve}) additionally requires unit demands. *)

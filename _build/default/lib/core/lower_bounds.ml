@@ -1,0 +1,37 @@
+open Flowsched_switch
+
+let fig4a_static ~t ~total_rounds =
+  if t < 1 || total_rounds <= t then invalid_arg "Lower_bounds.fig4a_static: need 1 <= t < total_rounds";
+  let specs = ref [] in
+  for r = t to total_rounds - 1 do
+    specs := (1, 1, 1, r) :: !specs
+  done;
+  for r = t - 1 downto 0 do
+    specs := (0, 1, 1, r) :: (0, 0, 1, r) :: !specs
+  done;
+  Instance.of_flows ~m:2 ~m':2 !specs
+
+let fig4a_dashed_target ~pending_out0 ~pending_out1 =
+  if pending_out0 > pending_out1 then 0 else 1
+
+let fig4b_static () =
+  Instance.of_flows ~m:3 ~m':4
+    [
+      (0, 1, 1, 0);
+      (* (1,3) *)
+      (0, 0, 1, 0);
+      (* (1,2) *)
+      (1, 2, 1, 0);
+      (* (4,5) *)
+      (1, 3, 1, 0);
+      (* (4,6) *)
+      (2, 1, 1, 1);
+      (* (7,3) *)
+      (2, 2, 1, 1);
+      (* (7,5) *)
+    ]
+
+let fig4b_optimum = 2
+
+let fig4b_dashed ~remaining_solid_outputs =
+  List.map (fun out -> (2, out, 1)) remaining_solid_outputs

@@ -1,0 +1,79 @@
+open Flowsched_switch
+module Model = Flowsched_lp.Model
+module Simplex = Flowsched_lp.Simplex
+
+type active = int -> int list
+
+let active_of_rho inst rho =
+  if rho < 1 then invalid_arg "Mrt_lp.active_of_rho: rho must be >= 1";
+  fun e ->
+    let r = inst.Instance.flows.(e).Flow.release in
+    List.init rho (fun i -> r + i)
+
+let active_of_deadlines inst deadlines =
+  if Array.length deadlines <> Instance.n inst then
+    invalid_arg "Mrt_lp.active_of_deadlines: deadline per flow required";
+  fun e ->
+    let r = inst.Instance.flows.(e).Flow.release in
+    let d = deadlines.(e) in
+    if d < r then invalid_arg "Mrt_lp.active_of_deadlines: deadline before release";
+    List.init (d - r + 1) (fun i -> r + i)
+
+type fractional = { values : (int * int, float) Hashtbl.t; rounds : int list }
+
+let solve ?residual inst active =
+  let n = Instance.n inst in
+  let model = Model.create () in
+  let var = Hashtbl.create (4 * n) in
+  (* cap_rows: (is_input, port, round) -> accumulated terms *)
+  let cap_terms = Hashtbl.create 64 in
+  for e = 0 to n - 1 do
+    let f = inst.Instance.flows.(e) in
+    let d = float_of_int f.Flow.demand in
+    let terms =
+      List.map
+        (fun t ->
+          if t < f.Flow.release then
+            invalid_arg "Mrt_lp.solve: active round before release";
+          let v = Model.add_var ~name:(Printf.sprintf "x_%d_%d" e t) model in
+          Hashtbl.add var (e, t) v;
+          let push key =
+            let cur = try Hashtbl.find cap_terms key with Not_found -> [] in
+            Hashtbl.replace cap_terms key ((v, d) :: cur)
+          in
+          push (true, f.Flow.src, t);
+          push (false, f.Flow.dst, t);
+          (v, 1.))
+        (active e)
+    in
+    if terms = [] then invalid_arg "Mrt_lp.solve: flow with no active round";
+    (* (20): each flow scheduled exactly once *)
+    ignore (Model.add_constraint ~name:(Printf.sprintf "assign_%d" e) model terms Model.Eq 1.)
+  done;
+  let rounds = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun ((is_input, p, t) as key) terms ->
+      Hashtbl.replace rounds t ();
+      let cap =
+        match residual with
+        | Some f -> f (is_input, p, t)
+        | None ->
+            if is_input then inst.Instance.cap_in.(p) else inst.Instance.cap_out.(p)
+      in
+      (* (19): port capacity per active round *)
+      ignore
+        (Model.add_constraint
+           ~name:(Printf.sprintf "cap_%s%d_%d" (if is_input then "in" else "out") p t)
+           model terms Model.Le (float_of_int cap));
+      ignore key)
+    cap_terms;
+  let res = Simplex.solve model in
+  match res.Simplex.status with
+  | Simplex.Infeasible -> None
+  | Simplex.Unbounded -> assert false (* objective is constant zero *)
+  | Simplex.Optimal ->
+      let values = Hashtbl.create (4 * n) in
+      Hashtbl.iter (fun key v -> Hashtbl.replace values key res.Simplex.values.(v)) var;
+      Some { values; rounds = Hashtbl.fold (fun t () acc -> t :: acc) rounds [] }
+
+let is_fractionally_feasible inst active = solve inst active <> None

@@ -1,0 +1,33 @@
+(** Time-Constrained Flow Scheduling LP (19)–(21), Section 4.2.
+
+    Every flow [e] has a set of active rounds [R(e)] and must be scheduled
+    entirely in one of them; variables [x_{e,t}] fractionally distribute the
+    flow over its active rounds subject to per-round port capacities.
+    FS-MRT with target maximum response [rho] reduces to this with
+    [R(e) = \[r_e, r_e + rho)], and the release/deadline model of Remark 4.2
+    with [R(e) = \[r_e, deadline_e\]]. *)
+
+type active = int -> int list
+(** Active rounds per flow id, in increasing order. *)
+
+val active_of_rho : Flowsched_switch.Instance.t -> int -> active
+(** [R(e) = \[r_e, r_e + rho)]. *)
+
+val active_of_deadlines : Flowsched_switch.Instance.t -> int array -> active
+(** [R(e) = \[r_e, deadline_e\]] (inclusive deadline rounds). *)
+
+type fractional = {
+  values : (int * int, float) Hashtbl.t;  (** [(flow, round) -> x_{e,t}]. *)
+  rounds : int list;  (** All rounds carrying a capacity row. *)
+}
+
+val solve :
+  ?residual:(bool * int * int -> int) ->
+  Flowsched_switch.Instance.t -> active -> fractional option
+(** [solve inst active] returns a fractional solution or [None] when the LP
+    is infeasible.  [residual] optionally overrides the capacity available
+    at [(is_input, port, round)] — the rounding procedure uses it to account
+    for already-fixed flows.  Restricting each flow to a sub-list of its
+    original active rounds is expressed by passing a narrower [active]. *)
+
+val is_fractionally_feasible : Flowsched_switch.Instance.t -> active -> bool

@@ -1,0 +1,55 @@
+open Flowsched_switch
+
+type solution = {
+  rho : int;
+  fractional_rho : int;
+  schedule : Schedule.t;
+  augmented : Instance.t;
+  rounding : Mrt_rounding.outcome;
+}
+
+let feasible_rho inst rho = Mrt_lp.is_fractionally_feasible inst (Mrt_lp.active_of_rho inst rho)
+
+let default_hi inst =
+  (* Uniform spreading after the last release is fractionally feasible, so
+     every flow finishes within this span of its release. *)
+  Art_lp.default_horizon inst
+
+let min_fractional_rho ?hi inst =
+  let hi = match hi with Some h -> h | None -> default_hi inst in
+  if not (feasible_rho inst hi) then
+    failwith "Mrt_scheduler.min_fractional_rho: upper bound infeasible";
+  let lo = ref 1 and hi = ref hi in
+  (* invariant: hi feasible, lo - 1 infeasible (rho = 0 is vacuously
+     infeasible for a non-empty instance) *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if feasible_rho inst mid then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let augmentation inst = max 0 ((2 * Instance.dmax inst) - 1)
+
+let solve ?rho inst =
+  let fractional_rho = match rho with Some r -> r | None -> min_fractional_rho inst in
+  match Mrt_rounding.round inst (Mrt_lp.active_of_rho inst fractional_rho) with
+  | None -> failwith "Mrt_scheduler.solve: infeasible rho"
+  | Some rounding ->
+      let augmented = Instance.scale_capacities inst ~mult:1 ~add:(augmentation inst) in
+      let schedule = rounding.Mrt_rounding.schedule in
+      {
+        rho = Schedule.max_response inst schedule;
+        fractional_rho;
+        schedule;
+        augmented;
+        rounding;
+      }
+
+let solve_with_deadlines inst ~deadlines =
+  match Mrt_rounding.round inst (Mrt_lp.active_of_deadlines inst deadlines) with
+  | None -> None
+  | Some rounding ->
+      let augmented = Instance.scale_capacities inst ~mult:1 ~add:(augmentation inst) in
+      let schedule = rounding.Mrt_rounding.schedule in
+      let rho = Schedule.max_response inst schedule in
+      Some { rho; fractional_rho = rho; schedule; augmented; rounding }

@@ -1,0 +1,1 @@
+lib/lp/lp_io.ml: Array Buffer List Model Printf Simplex String

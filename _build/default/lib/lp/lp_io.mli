@@ -1,0 +1,18 @@
+(** Serialization of {!Model} values in the CPLEX LP text format.
+
+    Useful for debugging the generated relaxations and for cross-checking
+    our simplex against an external solver (the format is accepted by
+    Gurobi, CPLEX, GLPK, HiGHS, lp_solve, ...).  Variable and row names are
+    sanitized to the character set the format allows. *)
+
+val to_lp_format : Model.t -> string
+(** The model as an LP-format string: a Minimize objective, Subject To
+    rows, and the implicit [x >= 0] bounds. *)
+
+val write_file : Model.t -> string -> unit
+(** [write_file model path] writes {!to_lp_format} to [path]. *)
+
+val solution_summary : Model.t -> Simplex.result -> string
+(** Human-readable solve report: status, objective, the non-zero variables
+    with names, and any binding rows — handy in the CLI and while debugging
+    rounding steps. *)

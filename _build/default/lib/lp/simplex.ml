@@ -1,0 +1,481 @@
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  objective : float;
+  values : float array;
+  duals : float array;
+  iterations : int;
+}
+
+exception Iteration_limit of int
+
+let eps_pivot = 1e-9
+let eps_cost = 1e-7
+let eps_feas = 1e-8
+
+(* Standard-form tableau data shared by both phases. *)
+type tab = {
+  m : int; (* rows *)
+  ncols : int; (* structural + slack + artificial columns *)
+  n_struct : int;
+  col_rows : int array array; (* sparse column: row indices *)
+  col_vals : float array array; (* sparse column: coefficients *)
+  cost2 : float array; (* phase-2 objective per column *)
+  is_artificial : bool array;
+  b : float array; (* right-hand side, >= 0 *)
+  row_flip : bool array; (* true when the model row was negated *)
+  basis : int array; (* column basic in each row *)
+  in_basis : bool array;
+  binv : float array; (* m*m row-major basis inverse *)
+  xb : float array; (* basic variable values *)
+}
+
+let build model =
+  let m = Model.num_rows model in
+  let n_struct = Model.num_vars model in
+  (* Count extra columns after normalizing each row to b >= 0: one
+     slack/surplus per inequality, one artificial per Ge/Eq row. *)
+  let n_slack = ref 0 and n_art = ref 0 in
+  let senses = Array.make m Model.Le in
+  let row_flip = Array.make m false in
+  let b = Array.make m 0. in
+  for r = 0 to m - 1 do
+    let rhs = Model.row_rhs model r in
+    let sense = Model.row_sense model r in
+    let sense, rhs, flip =
+      if rhs < 0. then
+        ( (match sense with Model.Le -> Model.Ge | Model.Ge -> Model.Le | Model.Eq -> Model.Eq),
+          -.rhs,
+          true )
+      else (sense, rhs, false)
+    in
+    senses.(r) <- sense;
+    row_flip.(r) <- flip;
+    b.(r) <- rhs;
+    (match sense with
+    | Model.Le | Model.Ge -> incr n_slack
+    | Model.Eq -> ());
+    (match sense with Model.Ge | Model.Eq -> incr n_art | Model.Le -> ())
+  done;
+  let ncols = n_struct + !n_slack + !n_art in
+  let col_rows = Array.make ncols [||] in
+  let col_vals = Array.make ncols [||] in
+  let cost2 = Array.make ncols 0. in
+  let is_artificial = Array.make ncols false in
+  (* Structural columns from the row-major model. *)
+  let acc_rows = Array.make n_struct [] and acc_vals = Array.make n_struct [] in
+  for r = m - 1 downto 0 do
+    let sign = if row_flip.(r) then -1. else 1. in
+    List.iter
+      (fun (v, c) ->
+        acc_rows.(v) <- r :: acc_rows.(v);
+        acc_vals.(v) <- (sign *. c) :: acc_vals.(v))
+      (Model.row_terms model r)
+  done;
+  for v = 0 to n_struct - 1 do
+    col_rows.(v) <- Array.of_list acc_rows.(v);
+    col_vals.(v) <- Array.of_list acc_vals.(v);
+    cost2.(v) <- Model.objective_coeff model v
+  done;
+  let basis = Array.make m (-1) in
+  let next = ref n_struct in
+  (* Slack/surplus columns; slacks of Le rows start basic. *)
+  for r = 0 to m - 1 do
+    match senses.(r) with
+    | Model.Le ->
+        col_rows.(!next) <- [| r |];
+        col_vals.(!next) <- [| 1. |];
+        basis.(r) <- !next;
+        incr next
+    | Model.Ge ->
+        col_rows.(!next) <- [| r |];
+        col_vals.(!next) <- [| -1. |];
+        incr next
+    | Model.Eq -> ()
+  done;
+  (* Artificial columns for Ge/Eq rows start basic. *)
+  for r = 0 to m - 1 do
+    match senses.(r) with
+    | Model.Ge | Model.Eq ->
+        col_rows.(!next) <- [| r |];
+        col_vals.(!next) <- [| 1. |];
+        is_artificial.(!next) <- true;
+        basis.(r) <- !next;
+        incr next
+    | Model.Le -> ()
+  done;
+  assert (!next = ncols);
+  let in_basis = Array.make ncols false in
+  Array.iter (fun j -> in_basis.(j) <- true) basis;
+  let binv = Array.make (m * m) 0. in
+  for i = 0 to m - 1 do
+    binv.((i * m) + i) <- 1.
+  done;
+  {
+    m;
+    ncols;
+    n_struct;
+    col_rows;
+    col_vals;
+    cost2;
+    is_artificial;
+    b;
+    row_flip;
+    basis;
+    in_basis;
+    binv;
+    xb = Array.copy b;
+  }
+
+(* w := B^-1 * A_j for a sparse column j. *)
+let ftran tab j w =
+  let m = tab.m in
+  Array.fill w 0 m 0.;
+  let rows = tab.col_rows.(j) and vals = tab.col_vals.(j) in
+  for k = 0 to Array.length rows - 1 do
+    let r = rows.(k) and a = vals.(k) in
+    for i = 0 to m - 1 do
+      w.(i) <- w.(i) +. (tab.binv.((i * m) + r) *. a)
+    done
+  done
+
+(* y := c_B^T * B^-1 for the given per-column cost vector. *)
+let compute_duals tab cost y =
+  let m = tab.m in
+  Array.fill y 0 m 0.;
+  for i = 0 to m - 1 do
+    let cb = cost.(tab.basis.(i)) in
+    if cb <> 0. then begin
+      let base = i * m in
+      for k = 0 to m - 1 do
+        y.(k) <- y.(k) +. (cb *. tab.binv.(base + k))
+      done
+    end
+  done
+
+let reduced_cost tab cost y j =
+  let rows = tab.col_rows.(j) and vals = tab.col_vals.(j) in
+  let acc = ref cost.(j) in
+  for k = 0 to Array.length rows - 1 do
+    acc := !acc -. (y.(rows.(k)) *. vals.(k))
+  done;
+  !acc
+
+(* Refactorize: rebuild binv by Gauss-Jordan elimination of the basis matrix,
+   then recompute xb.  Called rarely; guards against drift from the
+   product-form updates. *)
+let refactorize tab =
+  let m = tab.m in
+  (* Dense basis matrix. *)
+  let bmat = Array.make (m * m) 0. in
+  for i = 0 to m - 1 do
+    let j = tab.basis.(i) in
+    let rows = tab.col_rows.(j) and vals = tab.col_vals.(j) in
+    for k = 0 to Array.length rows - 1 do
+      bmat.((rows.(k) * m) + i) <- vals.(k)
+    done
+  done;
+  let inv = tab.binv in
+  Array.fill inv 0 (m * m) 0.;
+  for i = 0 to m - 1 do
+    inv.((i * m) + i) <- 1.
+  done;
+  for col = 0 to m - 1 do
+    (* partial pivot *)
+    let piv_row = ref (-1) and piv_val = ref 0. in
+    for r = col to m - 1 do
+      let v = abs_float bmat.((r * m) + col) in
+      if v > !piv_val then begin
+        piv_val := v;
+        piv_row := r
+      end
+    done;
+    if !piv_row < 0 || !piv_val < 1e-12 then failwith "Simplex.refactorize: singular basis";
+    if !piv_row <> col then begin
+      for k = 0 to m - 1 do
+        let t = bmat.((col * m) + k) in
+        bmat.((col * m) + k) <- bmat.((!piv_row * m) + k);
+        bmat.((!piv_row * m) + k) <- t;
+        let t = inv.((col * m) + k) in
+        inv.((col * m) + k) <- inv.((!piv_row * m) + k);
+        inv.((!piv_row * m) + k) <- t
+      done
+    end;
+    let piv = bmat.((col * m) + col) in
+    let inv_piv = 1. /. piv in
+    for k = 0 to m - 1 do
+      bmat.((col * m) + k) <- bmat.((col * m) + k) *. inv_piv;
+      inv.((col * m) + k) <- inv.((col * m) + k) *. inv_piv
+    done;
+    for r = 0 to m - 1 do
+      if r <> col then begin
+        let f = bmat.((r * m) + col) in
+        if f <> 0. then begin
+          for k = 0 to m - 1 do
+            bmat.((r * m) + k) <- bmat.((r * m) + k) -. (f *. bmat.((col * m) + k));
+            inv.((r * m) + k) <- inv.((r * m) + k) -. (f *. inv.((col * m) + k))
+          done
+        end
+      end
+    done
+  done;
+  (* xb = binv * b *)
+  for i = 0 to m - 1 do
+    let acc = ref 0. in
+    let base = i * m in
+    for k = 0 to m - 1 do
+      acc := !acc +. (inv.(base + k) *. tab.b.(k))
+    done;
+    tab.xb.(i) <- (if !acc < 0. && !acc > -.eps_feas then 0. else !acc)
+  done
+
+(* One simplex phase: minimize [cost] over columns with [allowed j = true].
+   Returns [`Optimal] or [`Unbounded].  Mutates the tableau in place.
+
+   The dual vector y = c_B B^-1 is maintained incrementally: after a pivot
+   that enters column q with reduced cost d_q on row r, the new duals are
+   y' = y + d_q * (row r of the new B^-1) — an O(m) update.  A full O(m^2)
+   recomputation happens periodically to bound numerical drift. *)
+let run_phase tab cost allowed iter_budget iter_count =
+  let m = tab.m in
+  let y = Array.make m 0. in
+  let w = Array.make m 0. in
+  let degenerate_streak = ref 0 in
+  let since_refactor = ref 0 in
+  let since_dual_refresh = ref 0 in
+  compute_duals tab cost y;
+  let rec loop () =
+    if !iter_count > iter_budget then raise (Iteration_limit !iter_count);
+    if !since_dual_refresh >= 500 then begin
+      since_dual_refresh := 0;
+      compute_duals tab cost y
+    end;
+    let bland = !degenerate_streak > 100 in
+    (* Entering column. *)
+    let enter = ref (-1) and best = ref (-.eps_cost) in
+    (try
+       for j = 0 to tab.ncols - 1 do
+         if (not tab.in_basis.(j)) && allowed j then begin
+           let d = reduced_cost tab cost y j in
+           if bland then begin
+             if d < -.eps_cost then begin
+               enter := j;
+               raise Exit
+             end
+           end
+           else if d < !best then begin
+             best := d;
+             enter := j
+           end
+         end
+       done
+     with Exit -> ());
+    if !enter < 0 then begin
+      (* Confirm optimality against freshly computed duals: the incremental
+         y may have drifted. *)
+      compute_duals tab cost y;
+      let really_optimal = ref true in
+      for j = 0 to tab.ncols - 1 do
+        if (not tab.in_basis.(j)) && allowed j && reduced_cost tab cost y j < -.eps_cost then
+          really_optimal := false
+      done;
+      if !really_optimal then `Optimal
+      else begin
+        since_dual_refresh := 0;
+        loop ()
+      end
+    end
+    else begin
+      let j = !enter in
+      let d_enter = reduced_cost tab cost y j in
+      ftran tab j w;
+      (* Ratio test. *)
+      let leave = ref (-1) and theta = ref infinity in
+      for i = 0 to m - 1 do
+        if w.(i) > eps_pivot then begin
+          let ratio = tab.xb.(i) /. w.(i) in
+          if
+            ratio < !theta -. eps_pivot
+            || (ratio < !theta +. eps_pivot
+               && (!leave < 0
+                  ||
+                  if bland then tab.basis.(i) < tab.basis.(!leave)
+                  else w.(i) > w.(!leave)))
+          then begin
+            theta := ratio;
+            leave := i
+          end
+        end
+      done;
+      if !leave < 0 then `Unbounded
+      else begin
+        let r = !leave in
+        let piv = w.(r) in
+        if !theta < eps_pivot then incr degenerate_streak else degenerate_streak := 0;
+        (* Update basis inverse: E * binv where E is the eta matrix. *)
+        let binv = tab.binv in
+        let base_r = r * m in
+        let inv_piv = 1. /. piv in
+        for k = 0 to m - 1 do
+          Array.unsafe_set binv (base_r + k) (Array.unsafe_get binv (base_r + k) *. inv_piv)
+        done;
+        for i = 0 to m - 1 do
+          let f = Array.unsafe_get w i in
+          if i <> r && f <> 0. then begin
+            let base_i = i * m in
+            for k = 0 to m - 1 do
+              Array.unsafe_set binv (base_i + k)
+                (Array.unsafe_get binv (base_i + k)
+                -. (f *. Array.unsafe_get binv (base_r + k)))
+            done
+          end
+        done;
+        (* Incremental dual update along the new r-th row of B^-1. *)
+        for k = 0 to m - 1 do
+          Array.unsafe_set y k
+            (Array.unsafe_get y k +. (d_enter *. Array.unsafe_get binv (base_r + k)))
+        done;
+        incr since_dual_refresh;
+        (* Update basic values. *)
+        for i = 0 to m - 1 do
+          if i <> r then begin
+            let v = tab.xb.(i) -. (!theta *. w.(i)) in
+            tab.xb.(i) <- (if v < 0. && v > -.eps_feas then 0. else v)
+          end
+        done;
+        tab.xb.(r) <- !theta;
+        tab.in_basis.(tab.basis.(r)) <- false;
+        tab.basis.(r) <- j;
+        tab.in_basis.(j) <- true;
+        incr iter_count;
+        incr since_refactor;
+        if !since_refactor >= 5000 then begin
+          since_refactor := 0;
+          refactorize tab;
+          compute_duals tab cost y;
+          since_dual_refresh := 0
+        end;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* After phase 1, pivot basic artificials out of the basis where possible so
+   phase 2 works on structural + slack columns only.  Rows whose artificial
+   cannot be evicted are redundant; the artificial stays basic at value 0. *)
+let evict_artificials tab =
+  let m = tab.m in
+  let w = Array.make m 0. in
+  for i = 0 to m - 1 do
+    if tab.is_artificial.(tab.basis.(i)) then begin
+      let found = ref (-1) in
+      let j = ref 0 in
+      while !found < 0 && !j < tab.ncols do
+        if (not tab.in_basis.(!j)) && not tab.is_artificial.(!j) then begin
+          ftran tab !j w;
+          if abs_float w.(i) > 1e-7 then found := !j
+        end;
+        incr j
+      done;
+      match !found with
+      | -1 -> () (* redundant row; harmless *)
+      | j ->
+          ftran tab j w;
+          let piv = w.(i) in
+          let base_r = i * m in
+          let inv_piv = 1. /. piv in
+          for k = 0 to m - 1 do
+            tab.binv.(base_r + k) <- tab.binv.(base_r + k) *. inv_piv
+          done;
+          for i' = 0 to m - 1 do
+            if i' <> i && w.(i') <> 0. then begin
+              let f = w.(i') in
+              let base_i = i' * m in
+              for k = 0 to m - 1 do
+                tab.binv.(base_i + k) <- tab.binv.(base_i + k) -. (f *. tab.binv.(base_r + k))
+              done
+            end
+          done;
+          (* Basic artificial is at value 0, so values are unchanged. *)
+          tab.in_basis.(tab.basis.(i)) <- false;
+          tab.basis.(i) <- j;
+          tab.in_basis.(j) <- true
+    end
+  done
+
+let solve ?max_iters model =
+  let tab = build model in
+  let m = tab.m in
+  let budget =
+    match max_iters with Some k -> k | None -> (200 * (m + tab.ncols)) + 5000
+  in
+  let iter_count = ref 0 in
+  (* Phase 1: minimize the sum of artificial variables. *)
+  let has_artificial = Array.exists (fun a -> a) tab.is_artificial in
+  let infeasible = ref false in
+  if has_artificial then begin
+    let cost1 = Array.make tab.ncols 0. in
+    for j = 0 to tab.ncols - 1 do
+      if tab.is_artificial.(j) then cost1.(j) <- 1.
+    done;
+    (match run_phase tab cost1 (fun _ -> true) budget iter_count with
+    | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+    | `Optimal -> ());
+    let art_sum = ref 0. in
+    for i = 0 to m - 1 do
+      if tab.is_artificial.(tab.basis.(i)) then art_sum := !art_sum +. tab.xb.(i)
+    done;
+    if !art_sum > 1e-6 then infeasible := true else evict_artificials tab
+  end;
+  if !infeasible then
+    {
+      status = Infeasible;
+      objective = nan;
+      values = Array.make tab.n_struct 0.;
+      duals = Array.make m 0.;
+      iterations = !iter_count;
+    }
+  else begin
+    let allowed j = not tab.is_artificial.(j) in
+    let phase2 = run_phase tab tab.cost2 allowed budget iter_count in
+    match phase2 with
+    | `Unbounded ->
+        {
+          status = Unbounded;
+          objective = neg_infinity;
+          values = Array.make tab.n_struct 0.;
+          duals = Array.make m 0.;
+          iterations = !iter_count;
+        }
+    | `Optimal ->
+        let values = Array.make tab.n_struct 0. in
+        let objective = ref 0. in
+        for i = 0 to m - 1 do
+          let j = tab.basis.(i) in
+          let v = if tab.xb.(i) < 0. then 0. else tab.xb.(i) in
+          if j < tab.n_struct then values.(j) <- v;
+          objective := !objective +. (tab.cost2.(j) *. v)
+        done;
+        let y = Array.make m 0. in
+        compute_duals tab tab.cost2 y;
+        (* Undo row sign flips in the reported duals. *)
+        for r = 0 to m - 1 do
+          if tab.row_flip.(r) then y.(r) <- -.y.(r)
+        done;
+        {
+          status = Optimal;
+          objective = !objective;
+          values;
+          duals = y;
+          iterations = !iter_count;
+        }
+  end
+
+let solve_or_fail ?max_iters model =
+  let res = solve ?max_iters model in
+  match res.status with
+  | Optimal -> res
+  | Infeasible -> failwith "Simplex.solve_or_fail: infeasible"
+  | Unbounded -> failwith "Simplex.solve_or_fail: unbounded"

@@ -1,0 +1,30 @@
+(** Two-phase revised simplex over {!Model}.
+
+    The solver maintains a dense basis inverse updated in product form with
+    periodic refactorization, prices columns with Dantzig's rule, and falls
+    back to Bland's rule after long degenerate streaks so it cannot cycle.
+    Optimal results are vertex (basic feasible) solutions: at most
+    [num_rows] variables are non-zero, which is exactly the property the
+    iterative-rounding procedures of the paper need from the LP oracle. *)
+
+type status = Optimal | Infeasible | Unbounded
+
+type result = {
+  status : status;
+  objective : float;  (** Meaningful only when [status = Optimal]. *)
+  values : float array;  (** Structural variable values, length [num_vars]. *)
+  duals : float array;  (** One dual per model row, phase-2 prices. *)
+  iterations : int;
+}
+
+exception Iteration_limit of int
+(** Raised if the pivot count exceeds the caller's budget — indicates a bug
+    or a degenerate pathological instance, not a normal outcome. *)
+
+val solve : ?max_iters:int -> Model.t -> result
+(** [solve model] minimizes the model objective.  [max_iters] defaults to
+    [200 * (rows + vars) + 5000]. *)
+
+val solve_or_fail : ?max_iters:int -> Model.t -> result
+(** Like {!solve} but raises [Failure] on [Infeasible]/[Unbounded]; handy
+    where feasibility is known by construction. *)

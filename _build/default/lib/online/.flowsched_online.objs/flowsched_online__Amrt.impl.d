@@ -1,0 +1,1 @@
+lib/online/amrt.ml: Array Flow Flowsched_core Flowsched_switch Hashtbl Instance List Policy Printf Schedule

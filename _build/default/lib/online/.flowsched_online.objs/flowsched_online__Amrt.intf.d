@@ -1,0 +1,1 @@
+lib/online/amrt.mli: Policy

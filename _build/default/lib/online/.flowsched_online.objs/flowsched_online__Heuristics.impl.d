@@ -1,0 +1,1 @@
+lib/online/heuristics.ml: Array Flow Flowsched_bipartite Flowsched_switch Flowsched_util List Policy

@@ -1,0 +1,1 @@
+lib/online/heuristics.mli: Policy

@@ -1,0 +1,1 @@
+lib/online/policy.ml: Array Flow Flowsched_bipartite Flowsched_switch List

@@ -1,0 +1,1 @@
+lib/online/policy.mli: Flowsched_bipartite Flowsched_switch

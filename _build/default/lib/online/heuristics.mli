@@ -1,0 +1,43 @@
+(** The online heuristics evaluated in Section 5.2, plus two baselines.
+
+    Each policy extracts a capacity-feasible set of pending flows per round.
+    On a unit-capacity switch the sets are matchings of the queue graph
+    exactly as in the paper; general capacities are handled by the
+    port-replication expansion, so every policy remains feasible for any
+    instance. *)
+
+val maxcard : Policy.t
+(** "at every step a matching of maximum cardinality is extracted from G_t"
+    — keeps the largest number of ports busy; expected good for average
+    response time (Hopcroft–Karp). *)
+
+val minrtime : Policy.t
+(** "each edge gets assigned a weight equal to t - r_e [...] a matching of
+    maximum weight is extracted" — prioritizes the longest-waiting flows;
+    expected good for maximum response time.  We add 1 to each weight, which
+    maximizes (waiting time, cardinality) lexicographically and makes the
+    policy work-conserving on fresh flows (weight-0 edges carry no signal in
+    a max-weight matching); without the offset a flow released this round
+    could be ignored for free. *)
+
+val maxweight : Policy.t
+(** "each edge gets assigned a weight equal to the sum of queue sizes at its
+    two endpoints" — the classic switch-scheduling MaxWeight rule; the
+    middle-ground policy. *)
+
+val fifo : Policy.t
+(** Greedy packing in (release, id) order — the FIFO baseline from the
+    related-work discussion (3 - 2/m competitive for max response on
+    identical machines). *)
+
+val random_policy : seed:int -> Policy.t
+(** Greedy packing in a fresh random order each round; a sanity baseline. *)
+
+val srpt : Policy.t
+(** Greedy packing smallest-demand-first (ties by release then id) — the
+    SPT/SRPT rule that is optimal for single-machine average response
+    (related-work §1.2), interesting on workloads with non-unit demands;
+    identical to {!fifo} when all demands are 1. *)
+
+val all_paper_heuristics : Policy.t list
+(** [maxcard; minrtime; maxweight] — the Figure 6/7 lineup. *)

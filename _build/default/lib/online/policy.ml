@@ -1,0 +1,44 @@
+open Flowsched_switch
+
+type context = {
+  m : int;
+  m' : int;
+  cap_in : int array;
+  cap_out : int array;
+  round : int;
+  queue : Flow.t array;
+}
+
+type t = { name : string; select : context -> int list }
+
+let queue_graph ctx =
+  Flowsched_bipartite.Bgraph.create ~nl:ctx.m ~nr:ctx.m'
+    (Array.map (fun (f : Flow.t) -> (f.Flow.src, f.Flow.dst)) ctx.queue)
+
+let feasible_selection ctx ids =
+  let res_in = Array.copy ctx.cap_in and res_out = Array.copy ctx.cap_out in
+  List.for_all
+    (fun i ->
+      i >= 0 && i < Array.length ctx.queue
+      &&
+      let f = ctx.queue.(i) in
+      res_in.(f.Flow.src) <- res_in.(f.Flow.src) - f.Flow.demand;
+      res_out.(f.Flow.dst) <- res_out.(f.Flow.dst) - f.Flow.demand;
+      res_in.(f.Flow.src) >= 0 && res_out.(f.Flow.dst) >= 0)
+    ids
+
+let greedy_pack ctx order =
+  let indices = Array.init (Array.length ctx.queue) (fun i -> i) in
+  Array.sort (fun a b -> order ctx.queue.(a) ctx.queue.(b)) indices;
+  let res_in = Array.copy ctx.cap_in and res_out = Array.copy ctx.cap_out in
+  Array.fold_left
+    (fun acc i ->
+      let f = ctx.queue.(i) in
+      if res_in.(f.Flow.src) >= f.Flow.demand && res_out.(f.Flow.dst) >= f.Flow.demand then begin
+        res_in.(f.Flow.src) <- res_in.(f.Flow.src) - f.Flow.demand;
+        res_out.(f.Flow.dst) <- res_out.(f.Flow.dst) - f.Flow.demand;
+        i :: acc
+      end
+      else acc)
+    [] indices
+  |> List.rev

@@ -1,0 +1,38 @@
+(** Online scheduling policies.
+
+    The simulator drives a policy round by round: it shows the pending flows
+    (released, not yet scheduled) and the switch geometry, and the policy
+    picks a capacity-feasible subset to run this round.  Policies may be
+    stateful (e.g. {!Amrt}) — [select] is a closure.
+
+    This is exactly the paper's Section 5.2 setup: "Our simulator maintains
+    a bipartite graph G_t [...]; any heuristic can be plugged in to extract
+    a bipartite matching M_t ⊆ E(G_t)". *)
+
+type context = {
+  m : int;
+  m' : int;
+  cap_in : int array;  (** Capacities the selection must respect. *)
+  cap_out : int array;
+  round : int;
+  queue : Flowsched_switch.Flow.t array;
+      (** Pending flows; [release <= round] for each. *)
+}
+
+type t = {
+  name : string;
+  select : context -> int list;
+      (** Indices into [queue]; total demand per port must stay within the
+          context capacities (the engine validates). *)
+}
+
+val queue_graph : context -> Flowsched_bipartite.Bgraph.t
+(** The pending flows as a bipartite multigraph (edge [i] = [queue.(i)]). *)
+
+val feasible_selection : context -> int list -> bool
+(** Capacity check for a proposed selection. *)
+
+val greedy_pack :
+  context -> (Flowsched_switch.Flow.t -> Flowsched_switch.Flow.t -> int) -> int list
+(** Sort the queue with the comparator and admit flows greedily while both
+    ports have residual capacity — shared by FIFO-style policies. *)

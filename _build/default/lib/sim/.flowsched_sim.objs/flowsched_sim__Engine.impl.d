@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Flow Flowsched_online Flowsched_switch Hashtbl Instance List Printf Schedule

@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Array Engine Flowsched_core Flowsched_online Flowsched_switch Flowsched_util Hashtbl Instance List Printf Stats Workload

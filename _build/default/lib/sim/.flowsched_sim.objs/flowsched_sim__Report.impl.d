@@ -1,0 +1,1 @@
+lib/sim/report.ml: Buffer Experiment Float Flowsched_util List Printf Table

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Flowsched_switch Flowsched_util Instance List Prng Sampling

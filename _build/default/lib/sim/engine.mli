@@ -1,0 +1,46 @@
+(** Round-based flow-level simulator.
+
+    The paper's "in-house simulator for online flow scheduling over a
+    non-blocking switch" (§5.2.1): the engine maintains the queue of
+    released-but-unscheduled flows, asks the policy for a feasible set each
+    round, and records response times.  Flows run whole-in-one-round, which
+    matches both the offline model and the paper's unit-size experiments.
+
+    Two drivers are provided: {!run_instance} replays a fixed instance and
+    {!run_adaptive} lets an arrival callback observe the live queue — the
+    adaptive adversaries of Figure 4 need exactly that power. *)
+
+type result = {
+  flows : Flowsched_switch.Flow.t array;  (** Everything that arrived. *)
+  schedule : Flowsched_switch.Schedule.t;  (** Round each flow ran in. *)
+  responses : int array;  (** Per-flow response times. *)
+  makespan : int;
+  rounds_idle : int;  (** Rounds where the policy scheduled nothing while flows were pending. *)
+}
+
+exception Policy_violation of string
+(** Raised (under [~validate:true], the default) when a policy returns an
+    out-of-range index, a flow not in the queue, or a capacity-infeasible
+    selection. *)
+
+val run_instance :
+  ?validate:bool -> Flowsched_online.Policy.t -> Flowsched_switch.Instance.t -> result
+(** Replays the instance's flows at their release times and runs until the
+    queue drains.  The result's flow array is the instance's. *)
+
+val average_response : result -> float
+val max_response : result -> int
+
+val run_adaptive :
+  ?validate:bool ->
+  ?max_rounds:int ->
+  m:int -> m':int ->
+  ?cap_in:int array -> ?cap_out:int array ->
+  arrivals:(round:int -> pending:Flowsched_switch.Flow.t list -> (int * int * int) list) ->
+  stop_arrivals_after:int ->
+  Flowsched_online.Policy.t -> result
+(** [arrivals ~round ~pending] returns [(src, dst, demand)] specs released
+    this round; it sees the current queue, so it can be adversarial.  After
+    [stop_arrivals_after] rounds the callback is no longer consulted and the
+    engine runs until the queue drains (or [max_rounds], default 100000,
+    then it raises [Failure]). *)

@@ -1,0 +1,92 @@
+open Flowsched_switch
+open Flowsched_util
+
+type cell_config = {
+  m : int;
+  rate : float;
+  rounds : int;
+  tries : int;
+  seed : int;
+  with_lp : bool;
+}
+
+type cell_result = {
+  config : cell_config;
+  flows_mean : float;
+  avg_response : (string * float) list;
+  max_response : (string * float) list;
+  lp_avg_bound : float;
+  lp_max_bound : float;
+}
+
+let run_cell ~policies config =
+  let per_policy_avg = Hashtbl.create 8 and per_policy_max = Hashtbl.create 8 in
+  let lp_avgs = ref [] and lp_maxs = ref [] in
+  let flow_counts = ref [] in
+  let names = List.map (fun (p : Flowsched_online.Policy.t) -> p.Flowsched_online.Policy.name) policies in
+  List.iter
+    (fun name ->
+      Hashtbl.replace per_policy_avg name [];
+      Hashtbl.replace per_policy_max name [])
+    names;
+  for trial = 0 to config.tries - 1 do
+    let seed = config.seed + (1000 * trial) in
+    let inst = Workload.poisson ~m:config.m ~rate:config.rate ~rounds:config.rounds ~seed in
+    if Instance.n inst > 0 then begin
+      flow_counts := float_of_int (Instance.n inst) :: !flow_counts;
+      let max_makespan = ref 0 in
+      List.iter
+        (fun (p : Flowsched_online.Policy.t) ->
+          let r = Engine.run_instance p inst in
+          max_makespan := max !max_makespan r.Engine.makespan;
+          let name = p.Flowsched_online.Policy.name in
+          Hashtbl.replace per_policy_avg name
+            (Engine.average_response r :: Hashtbl.find per_policy_avg name);
+          Hashtbl.replace per_policy_max name
+            (float_of_int (Engine.max_response r) :: Hashtbl.find per_policy_max name))
+        policies;
+      if config.with_lp then begin
+        (* Horizon must cover the heuristics' schedules for Lemma 3.1 to
+           bound them. *)
+        let horizon = max (Flowsched_core.Art_lp.default_horizon inst) !max_makespan in
+        let bound = Flowsched_core.Art_lp.lower_bound ~horizon inst in
+        lp_avgs := bound.Flowsched_core.Art_lp.average :: !lp_avgs;
+        let rho = Flowsched_core.Mrt_scheduler.min_fractional_rho inst in
+        lp_maxs := float_of_int rho :: !lp_maxs
+      end
+    end
+  done;
+  let mean = function [] -> nan | xs -> Stats.mean (Array.of_list xs) in
+  {
+    config;
+    flows_mean = mean !flow_counts;
+    avg_response = List.map (fun n -> (n, mean (Hashtbl.find per_policy_avg n))) names;
+    max_response = List.map (fun n -> (n, mean (Hashtbl.find per_policy_max n))) names;
+    lp_avg_bound = (if config.with_lp then mean !lp_avgs else nan);
+    lp_max_bound = (if config.with_lp then mean !lp_maxs else nan);
+  }
+
+let run_grid ~policies ?(progress = fun _ -> ()) configs =
+  List.map
+    (fun config ->
+      progress
+        (Printf.sprintf "cell m=%d rate=%.1f T=%d lp=%b" config.m config.rate config.rounds
+           config.with_lp);
+      run_cell ~policies config)
+    configs
+
+let fig6_grid ?(m = 6) ?(tries = 3) ?(seed = 1) ?(lp_rounds_limit = 12) ~congestion ~rounds () =
+  List.concat_map
+    (fun c ->
+      List.map
+        (fun t ->
+          {
+            m;
+            rate = c *. float_of_int m;
+            rounds = t;
+            tries;
+            seed = seed + int_of_float (c *. 1_000_000.) + (17 * t);
+            with_lp = t <= lp_rounds_limit;
+          })
+        rounds)
+    congestion

@@ -1,0 +1,48 @@
+(** Experiment grid driver for the Figure 6 / Figure 7 reproduction.
+
+    A cell fixes the switch size [m], arrival rate (the paper's M), and
+    generation length T; [tries] instances are generated with derived seeds
+    and each policy plus the LP lower bounds are averaged over them — the
+    paper's "each result is the average of 10 tries".
+
+    LP bounds: average response uses LP (1)–(4) (its optimum divided by n
+    lower bounds the achievable average response, Lemma 3.1 — the horizon is
+    extended to cover every heuristic's makespan so the bound applies to
+    them); maximum response uses binary search over the feasibility of LP
+    (19)–(21), "the binary-search scheme [...] for finding the minimum
+    feasible response time". *)
+
+type cell_config = {
+  m : int;
+  rate : float;
+  rounds : int;
+  tries : int;
+  seed : int;
+  with_lp : bool;  (** Compute LP lower bounds (the expensive part). *)
+}
+
+type cell_result = {
+  config : cell_config;
+  flows_mean : float;  (** Mean number of generated flows. *)
+  avg_response : (string * float) list;  (** Policy name -> mean avg response. *)
+  max_response : (string * float) list;  (** Policy name -> mean max response. *)
+  lp_avg_bound : float;  (** Mean LP lower bound on avg response; nan if skipped. *)
+  lp_max_bound : float;  (** Mean min fractional rho; nan if skipped. *)
+}
+
+val run_cell : policies:Flowsched_online.Policy.t list -> cell_config -> cell_result
+
+val run_grid :
+  policies:Flowsched_online.Policy.t list ->
+  ?progress:(string -> unit) ->
+  cell_config list -> cell_result list
+
+val fig6_grid :
+  ?m:int -> ?tries:int -> ?seed:int -> ?lp_rounds_limit:int ->
+  congestion:float list -> rounds:int list -> unit -> cell_config list
+(** The Figure 6/7 grid: one cell per (congestion, T) with
+    [rate = congestion * m].  Congestion is the paper's M/150; its values
+    {1/3, 2/3, 1, 2, 4} are reproduced at a scaled-down [m] (default 6).
+    LP bounds are enabled only for cells with [rounds <= lp_rounds_limit]
+    (default 12), mirroring the paper's "LPs are solved only for
+    T in {10..20} to avoid prohibitively long execution times". *)

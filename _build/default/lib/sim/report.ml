@@ -1,0 +1,61 @@
+open Flowsched_util
+
+let series objective (cell : Experiment.cell_result) =
+  match objective with
+  | `Avg -> (cell.Experiment.avg_response, cell.Experiment.lp_avg_bound)
+  | `Max -> (cell.Experiment.max_response, cell.Experiment.lp_max_bound)
+
+let table objective results =
+  let policy_names =
+    match results with
+    | [] -> []
+    | cell :: _ -> List.map fst (fst (series objective cell))
+  in
+  let columns =
+    [ ("M/m", Table.Right); ("T", Table.Right); ("flows", Table.Right) ]
+    @ List.concat_map
+        (fun n -> [ (n, Table.Right); (n ^ "/LP", Table.Right) ])
+        policy_names
+    @ [ ("LP bound", Table.Right) ]
+  in
+  let t = Table.create columns in
+  let last_congestion = ref nan in
+  List.iter
+    (fun (cell : Experiment.cell_result) ->
+      let cfg = cell.Experiment.config in
+      let congestion = cfg.Experiment.rate /. float_of_int cfg.Experiment.m in
+      if (not (Float.is_nan !last_congestion)) && congestion <> !last_congestion then
+        Table.add_separator t;
+      last_congestion := congestion;
+      let values, lp = series objective cell in
+      Table.add_row t
+        ([
+           Table.cell_float ~decimals:2 congestion;
+           string_of_int cfg.Experiment.rounds;
+           Table.cell_float ~decimals:1 cell.Experiment.flows_mean;
+         ]
+        @ List.concat_map
+            (fun (_, v) -> [ Table.cell_float v; Table.cell_ratio v lp ])
+            values
+        @ [ Table.cell_float lp ]))
+    results;
+  Table.render t
+
+let fig6_table results = table `Avg results
+let fig7_table results = table `Max results
+
+let csv ~objective results =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "m,rate,rounds,tries,flows,policy,value,lp_bound\n";
+  List.iter
+    (fun (cell : Experiment.cell_result) ->
+      let cfg = cell.Experiment.config in
+      let values, lp = series objective cell in
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%g,%d,%d,%g,%s,%g,%g\n" cfg.Experiment.m cfg.Experiment.rate
+               cfg.Experiment.rounds cfg.Experiment.tries cell.Experiment.flows_mean name v lp))
+        values)
+    results;
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Rendering experiment results as the paper's figures (text form). *)
+
+val fig6_table : Experiment.cell_result list -> string
+(** One row per cell: average response time per heuristic, the LP (1)–(4)
+    lower bound, and each heuristic's ratio to the LP — the content of the
+    paper's Figure 6 panels. *)
+
+val fig7_table : Experiment.cell_result list -> string
+(** Same layout for maximum response time against the binary-search LP
+    bound — Figure 7. *)
+
+val csv : objective:[ `Avg | `Max ] -> Experiment.cell_result list -> string
+(** Machine-readable dump: [m,rate,rounds,tries,flows,policy,value,lp]. *)

@@ -1,0 +1,80 @@
+open Flowsched_switch
+open Flowsched_util
+
+let poisson_specs g ~m ~rate ~rounds ~demand_of =
+  let specs = ref [] in
+  for t = 0 to rounds - 1 do
+    let k = Sampling.poisson g rate in
+    for _ = 1 to k do
+      specs := (Prng.int g m, Prng.int g m, demand_of (), t) :: !specs
+    done
+  done;
+  List.rev !specs
+
+let poisson ~m ~rate ~rounds ~seed =
+  if m < 1 || rounds < 1 || rate < 0. then invalid_arg "Workload.poisson";
+  let g = Prng.create seed in
+  Instance.of_flows ~m ~m':m (poisson_specs g ~m ~rate ~rounds ~demand_of:(fun () -> 1))
+
+let poisson_with_demands ~m ~rate ~rounds ~max_demand ~seed =
+  if max_demand < 1 then invalid_arg "Workload.poisson_with_demands";
+  let g = Prng.create seed in
+  let specs =
+    poisson_specs g ~m ~rate ~rounds ~demand_of:(fun () -> 1 + Prng.int g max_demand)
+  in
+  Instance.of_flows
+    ~cap_in:(Array.make m max_demand)
+    ~cap_out:(Array.make m max_demand)
+    ~m ~m':m specs
+
+(* Sample from a Zipf(alpha) distribution over [0, m) via the inverse CDF
+   of precomputed normalized weights. *)
+let zipf_sampler g m alpha =
+  let weights = Array.init m (fun i -> 1. /. ((float_of_int (i + 1)) ** alpha)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cdf = Array.make m 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cdf.(i) <- !acc)
+    weights;
+  fun () ->
+    let u = Prng.float g in
+    let rec find i = if i >= m - 1 || u <= cdf.(i) then i else find (i + 1) in
+    find 0
+
+let skewed ~m ~rate ~rounds ?(alpha = 1.0) ~seed () =
+  if m < 1 || rounds < 1 || rate < 0. then invalid_arg "Workload.skewed";
+  let g = Prng.create seed in
+  let sample = zipf_sampler g m alpha in
+  let specs = ref [] in
+  for t = 0 to rounds - 1 do
+    let k = Sampling.poisson g rate in
+    for _ = 1 to k do
+      specs := (sample (), sample (), 1, t) :: !specs
+    done
+  done;
+  Instance.of_flows ~m ~m':m (List.rev !specs)
+
+let hotspot ~m ~rate ~rounds ?(fraction = 0.5) ~seed () =
+  if m < 1 || rounds < 1 || rate < 0. || fraction < 0. || fraction > 1. then
+    invalid_arg "Workload.hotspot";
+  let g = Prng.create seed in
+  let specs = ref [] in
+  for t = 0 to rounds - 1 do
+    let k = Sampling.poisson g rate in
+    for _ = 1 to k do
+      let dst = if Prng.float g < fraction then 0 else Prng.int g m in
+      specs := (Prng.int g m, dst, 1, t) :: !specs
+    done
+  done;
+  Instance.of_flows ~m ~m':m (List.rev !specs)
+
+let uniform_total ~m ~n ~max_release ~seed =
+  if m < 1 || n < 0 || max_release < 0 then invalid_arg "Workload.uniform_total";
+  let g = Prng.create seed in
+  let specs =
+    List.init n (fun _ -> (Prng.int g m, Prng.int g m, 1, Prng.int g (max_release + 1)))
+  in
+  Instance.of_flows ~m ~m':m specs

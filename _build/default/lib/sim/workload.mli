@@ -1,0 +1,41 @@
+(** Workload generation (§5.2.1).
+
+    "for each time unit t = 0..T-1, a Poisson distribution of mean M is used
+    to generate flows released at time t.  For each such flow, an input port
+    and an output port is selected uniformly at random."  Demands are unit
+    by default; {!poisson_with_demands} adds bounded random demands for the
+    Theorem 3 experiments. *)
+
+val poisson :
+  m:int -> rate:float -> rounds:int -> seed:int -> Flowsched_switch.Instance.t
+(** Unit-capacity, unit-demand [m x m] switch; [rate] is the paper's M.
+    The result can have zero flows for tiny [rate * rounds]. *)
+
+val poisson_with_demands :
+  m:int -> rate:float -> rounds:int -> max_demand:int -> seed:int ->
+  Flowsched_switch.Instance.t
+(** Same arrivals, uniform demands in [\[1, max_demand\]], all port
+    capacities set to [max_demand] so every flow fits. *)
+
+val uniform_total :
+  m:int -> n:int -> max_release:int -> seed:int -> Flowsched_switch.Instance.t
+(** Exactly [n] unit flows with uniform ports and uniform releases in
+    [\[0, max_release\]] — the workload used for offline algorithm tests
+    where a fixed instance size matters more than an arrival process. *)
+
+val skewed :
+  m:int -> rate:float -> rounds:int -> ?alpha:float -> seed:int -> unit ->
+  Flowsched_switch.Instance.t
+(** Poisson arrivals whose endpoints follow a Zipf(alpha) popularity
+    distribution over ports (default [alpha = 1.0]) instead of the paper's
+    uniform choice — the "distribution of input instances" direction from
+    the paper's future-work section.  Hot ports concentrate load, which
+    stresses the heuristics' queue management far more than uniform
+    traffic. *)
+
+val hotspot :
+  m:int -> rate:float -> rounds:int -> ?fraction:float -> seed:int -> unit ->
+  Flowsched_switch.Instance.t
+(** Poisson arrivals where a [fraction] (default 0.5) of all flows target
+    output port 0 (an incast hotspot, e.g. a storage head node); sources
+    and the remaining destinations stay uniform. *)

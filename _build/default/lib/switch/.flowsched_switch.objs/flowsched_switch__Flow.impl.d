@@ -1,0 +1,1 @@
+lib/switch/flow.ml: Format Stdlib

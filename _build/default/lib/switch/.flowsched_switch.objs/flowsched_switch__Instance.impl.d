@@ -1,0 +1,1 @@
+lib/switch/instance.ml: Array Buffer Flow Format List Printf String

@@ -1,0 +1,1 @@
+lib/switch/instance.mli: Flow Format

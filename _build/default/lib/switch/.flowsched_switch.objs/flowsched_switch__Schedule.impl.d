@@ -1,0 +1,1 @@
+lib/switch/schedule.ml: Array Buffer Flow Format Instance Printf

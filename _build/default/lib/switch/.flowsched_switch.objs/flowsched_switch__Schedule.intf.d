@@ -1,0 +1,1 @@
+lib/switch/schedule.mli: Format Instance

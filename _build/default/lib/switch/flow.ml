@@ -1,0 +1,9 @@
+type t = { id : int; src : int; dst : int; demand : int; release : int }
+
+let make ~id ~src ~dst ?(demand = 1) ?(release = 0) () = { id; src; dst; demand; release }
+
+let compare a b =
+  match Stdlib.compare a.release b.release with 0 -> Stdlib.compare a.id b.id | c -> c
+
+let pp fmt f =
+  Format.fprintf fmt "flow#%d %d->%d d=%d r=%d" f.id f.src f.dst f.demand f.release

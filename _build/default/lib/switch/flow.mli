@@ -1,0 +1,18 @@
+(** Flow requests.
+
+    A flow is a directed edge of the switch: it enters at input port [src],
+    leaves at output port [dst], carries an integral [demand], and becomes
+    available at round [release] (0-based; the flow may be scheduled in any
+    round [t >= release]).  Following the paper's model, a scheduled flow
+    occupies one whole round and consumes [demand] units of capacity at both
+    of its ports during that round. *)
+
+type t = { id : int; src : int; dst : int; demand : int; release : int }
+
+val make : id:int -> src:int -> dst:int -> ?demand:int -> ?release:int -> unit -> t
+(** [demand] defaults to 1, [release] to 0. *)
+
+val compare : t -> t -> int
+(** Orders by release time, then id. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,171 @@
+type t = { slots : int array }
+
+let make assignment =
+  Array.iter (fun r -> if r < 0 then invalid_arg "Schedule.make: unassigned flow") assignment;
+  { slots = Array.copy assignment }
+
+let unassigned n = { slots = Array.make n (-1) }
+
+let assign s flow round =
+  if round < 0 then invalid_arg "Schedule.assign: negative round";
+  s.slots.(flow) <- round
+
+let round_of s flow = s.slots.(flow)
+let assignment s = Array.copy s.slots
+let is_complete s = Array.for_all (fun r -> r >= 0) s.slots
+
+let makespan s = Array.fold_left (fun acc r -> max acc (r + 1)) 0 s.slots
+
+let check_assigned_and_released inst s =
+  let issues = ref [] in
+  Array.iteri
+    (fun i r ->
+      let f = inst.Instance.flows.(i) in
+      if r < 0 then issues := Printf.sprintf "flow %d unassigned" i :: !issues
+      else if r < f.Flow.release then
+        issues := Printf.sprintf "flow %d scheduled at %d before release %d" i r f.Flow.release :: !issues)
+    s.slots;
+  !issues
+
+(* load.(t) per port, split by side. *)
+let loads inst s =
+  let horizon = makespan s in
+  let load_in = Array.make_matrix inst.Instance.m horizon 0 in
+  let load_out = Array.make_matrix inst.Instance.m' horizon 0 in
+  Array.iteri
+    (fun i r ->
+      if r >= 0 then begin
+        let f = inst.Instance.flows.(i) in
+        load_in.(f.Flow.src).(r) <- load_in.(f.Flow.src).(r) + f.Flow.demand;
+        load_out.(f.Flow.dst).(r) <- load_out.(f.Flow.dst).(r) + f.Flow.demand
+      end)
+    s.slots;
+  (load_in, load_out)
+
+let validate inst s =
+  if Array.length s.slots <> Instance.n inst then Error "schedule length mismatch"
+  else
+    match check_assigned_and_released inst s with
+    | issue :: _ -> Error issue
+    | [] ->
+        let load_in, load_out = loads inst s in
+        let bad = ref None in
+        let scan side caps loads =
+          Array.iteri
+            (fun p per_round ->
+              Array.iteri
+                (fun t l ->
+                  if l > caps.(p) && !bad = None then
+                    bad :=
+                      Some
+                        (Printf.sprintf "%s port %d overloaded at round %d: %d > %d" side p t l
+                           caps.(p)))
+                per_round)
+            loads
+        in
+        scan "input" inst.Instance.cap_in load_in;
+        scan "output" inst.Instance.cap_out load_out;
+        (match !bad with Some msg -> Error msg | None -> Ok ())
+
+let is_valid inst s = match validate inst s with Ok () -> true | Error _ -> false
+
+let require_assigned inst s =
+  match check_assigned_and_released inst s with
+  | [] -> ()
+  | issue :: _ -> invalid_arg ("Schedule: " ^ issue)
+
+let port_overflow inst s =
+  require_assigned inst s;
+  let load_in, load_out = loads inst s in
+  let worst = ref 0 in
+  let scan caps loads =
+    Array.iteri
+      (fun p per_round -> Array.iter (fun l -> worst := max !worst (l - caps.(p))) per_round)
+      loads
+  in
+  scan inst.Instance.cap_in load_in;
+  scan inst.Instance.cap_out load_out;
+  !worst
+
+let max_interval_excess inst s =
+  require_assigned inst s;
+  let load_in, load_out = loads inst s in
+  let worst = ref 0 in
+  (* Kadane on per-round excess load - cap: the best interval ending at t
+     either extends the best interval ending at t-1 or restarts. *)
+  let scan caps loads =
+    Array.iteri
+      (fun p per_round ->
+        let best_ending = ref 0 in
+        Array.iter
+          (fun l ->
+            let excess = l - caps.(p) in
+            best_ending := max excess (!best_ending + excess);
+            worst := max !worst !best_ending)
+          per_round)
+      loads
+  in
+  scan inst.Instance.cap_in load_in;
+  scan inst.Instance.cap_out load_out;
+  !worst
+
+let response_times inst s =
+  require_assigned inst s;
+  Array.mapi (fun i r -> r + 1 - inst.Instance.flows.(i).Flow.release) s.slots
+
+let total_response inst s = Array.fold_left ( + ) 0 (response_times inst s)
+
+let average_response inst s =
+  if Instance.n inst = 0 then nan
+  else float_of_int (total_response inst s) /. float_of_int (Instance.n inst)
+
+let max_response inst s = Array.fold_left max 0 (response_times inst s)
+
+let weighted_total_response inst ~weights s =
+  if Array.length weights <> Instance.n inst then
+    invalid_arg "Schedule.weighted_total_response: one weight per flow";
+  let rts = response_times inst s in
+  let acc = ref 0. in
+  Array.iteri (fun e rt -> acc := !acc +. (weights.(e) *. float_of_int rt)) rts;
+  !acc
+
+let flows_per_round inst s =
+  ignore inst;
+  let horizon = makespan s in
+  let rounds = Array.make horizon [] in
+  for i = Array.length s.slots - 1 downto 0 do
+    let r = s.slots.(i) in
+    if r >= 0 then rounds.(r) <- i :: rounds.(r)
+  done;
+  rounds
+
+let render_timeline inst s =
+  require_assigned inst s;
+  let load_in, load_out = loads inst s in
+  let horizon = makespan s in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "        ";
+  for t = 0 to horizon - 1 do
+    Buffer.add_string buf (Printf.sprintf "%3d" t)
+  done;
+  Buffer.add_char buf '\n';
+  let row label caps loads p =
+    Buffer.add_string buf (Printf.sprintf "%s %3d | " label p);
+    for t = 0 to horizon - 1 do
+      let l = loads.(p).(t) in
+      if l = 0 then Buffer.add_string buf "  ."
+      else if l > caps.(p) then Buffer.add_string buf (Printf.sprintf "%2d!" l)
+      else Buffer.add_string buf (Printf.sprintf "%3d" l)
+    done;
+    Buffer.add_char buf '\n'
+  in
+  for p = 0 to inst.Instance.m - 1 do
+    row "in " inst.Instance.cap_in load_in p
+  done;
+  for p = 0 to inst.Instance.m' - 1 do
+    row "out" inst.Instance.cap_out load_out p
+  done;
+  Buffer.contents buf
+
+let pp fmt s =
+  Format.fprintf fmt "schedule[%d flows, makespan %d]" (Array.length s.slots) (makespan s)

@@ -1,0 +1,72 @@
+(** Schedules and pseudo-schedules.
+
+    A schedule assigns every flow to one round (the paper's integral
+    [sigma]); during that round the flow consumes its demand at both
+    endpoint ports.  A {e pseudo-schedule} has the same shape but is allowed
+    to overload ports — the intermediate object produced by iterative
+    rounding (Remark 3.4), which Theorem 1 then converts into a valid
+    schedule under augmented capacities.  Validation and the backlog
+    measurements of Lemma 3.3/3.7 live here. *)
+
+type t
+
+val make : int array -> t
+(** [make assignment] wraps a per-flow round assignment (index = flow id).
+    Every entry must be [>= 0]. *)
+
+val unassigned : int -> t
+(** [unassigned n] is an all-unassigned partial schedule (entries [-1]);
+    fill it with {!assign}. *)
+
+val assign : t -> int -> int -> unit
+(** [assign s flow round] sets the round of a flow (mutable builder). *)
+
+val round_of : t -> int -> int
+(** Round of a flow id; [-1] when unassigned. *)
+
+val assignment : t -> int array
+(** A copy of the underlying assignment array. *)
+
+val is_complete : t -> bool
+val makespan : t -> int
+(** Last used round + 1; [0] for an empty or unassigned schedule. *)
+
+val validate : Instance.t -> t -> (unit, string) result
+(** Full feasibility check: all flows assigned, releases respected, and for
+    every port and round the total scheduled demand is within capacity. *)
+
+val is_valid : Instance.t -> t -> bool
+
+val port_overflow : Instance.t -> t -> int
+(** Maximum over ports and rounds of [load - capacity] (0 when feasible).
+    Releases and completeness must hold — checked with an exception —
+    because this is the augmentation measure of Theorem 3. *)
+
+val max_interval_excess : Instance.t -> t -> int
+(** Maximum over ports p and time intervals [I] of
+    [load_p(I) - c_p * |I|] — the backlog quantity bounded by
+    [O(c_p log n)] in Lemma 3.7.  Computed per port by Kadane's rule on
+    per-round excesses. *)
+
+val response_times : Instance.t -> t -> int array
+(** Per-flow response time [(round + 1) - release]; flows must be
+    assigned. *)
+
+val total_response : Instance.t -> t -> int
+val average_response : Instance.t -> t -> float
+val max_response : Instance.t -> t -> int
+
+val weighted_total_response : Instance.t -> weights:float array -> t -> float
+(** [sum of w_e * rho_e] — the weighted objective from the paper's
+    complexity discussion (the [sum w_i C_i] family).  Requires one weight
+    per flow. *)
+
+val flows_per_round : Instance.t -> t -> int list array
+(** Flow ids grouped by assigned round, over [0 .. makespan-1]. *)
+
+val render_timeline : Instance.t -> t -> string
+(** ASCII visualization: one row per port (inputs then outputs), one column
+    per round; each cell shows the load at that port in that round, with
+    ['.'] for idle and ['!'] marking overloads.  Complete schedules only. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,67 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the user seed into the 256-bit state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  (* xoshiro must not start from the all-zero state; the splitmix expansion
+     of any seed cannot produce it, but guard anyway. *)
+  if Int64.logor (Int64.logor s0 s1) (Int64.logor s2 s3) = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  let state = ref (bits64 g) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top bits keeps the distribution exactly
+     uniform for any bound. *)
+  let mask = Int64.of_int max_int in
+  let rec draw () =
+    let r = Int64.to_int (Int64.logand (bits64 g) mask) in
+    let q = r / bound and v = r mod bound in
+    if (q + 1) * bound - 1 <= max_int || q * bound + bound - 1 >= 0 then v
+    else draw ()
+  in
+  if bound land (bound - 1) = 0 then
+    Int64.to_int (Int64.logand (bits64 g) (Int64.of_int (bound - 1)))
+  else draw ()
+
+let float g =
+  let bits = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generation.
+
+    The generator is xoshiro256** seeded through splitmix64, so a single
+    integer seed yields a well-mixed 256-bit state.  All simulation and
+    workload-generation code in flowsched draws from this module rather than
+    [Stdlib.Random] so that every experiment is reproducible from its seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from an arbitrary integer seed. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose state is derived
+    from (and decorrelated against) [g].  Use it to give independent streams
+    to independent experiment cells. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)] with 53-bit precision. *)
+
+val bool : t -> bool

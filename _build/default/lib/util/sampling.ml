@@ -1,0 +1,84 @@
+let poisson_small g mean =
+  let limit = exp (-.mean) in
+  let rec loop k prod =
+    let prod = prod *. Prng.float g in
+    if prod <= limit then k else loop (k + 1) prod
+  in
+  loop 0 1.0
+
+(* PTRS (Hörmann 1993): transformed rejection for Poisson with mean >= 10. *)
+let poisson_ptrs g mean =
+  let b = 0.931 +. (2.53 *. sqrt mean) in
+  let a = -0.059 +. (0.02483 *. b) in
+  let inv_alpha = 1.1239 +. (1.1328 /. (b -. 3.4)) in
+  let vr = 0.9277 -. (3.6224 /. (b -. 2.)) in
+  let log_mean = log mean in
+  let rec loop () =
+    let u = Prng.float g -. 0.5 in
+    let v = Prng.float g in
+    let us = 0.5 -. abs_float u in
+    let k = floor ((((2. *. a) /. us) +. b) *. u +. mean +. 0.43) in
+    if us >= 0.07 && v <= vr then int_of_float k
+    else if k < 0. || (us < 0.013 && v > us) then loop ()
+    else
+      let lhs = log (v *. inv_alpha /. ((a /. (us *. us)) +. b)) in
+      let lgamma_k1 =
+        (* log Γ(k+1) via Stirling with correction; exact enough for the
+           acceptance test at mean >= 10. *)
+        let x = k +. 1. in
+        ((x -. 0.5) *. log x) -. x
+        +. (0.5 *. log (2. *. Float.pi))
+        +. (1. /. (12. *. x))
+        -. (1. /. (360. *. (x ** 3.)))
+      in
+      let rhs = (k *. log_mean) -. mean -. lgamma_k1 in
+      if lhs <= rhs then int_of_float k else loop ()
+  in
+  loop ()
+
+let poisson g mean =
+  if mean < 0. then invalid_arg "Sampling.poisson: negative mean";
+  if mean = 0. then 0
+  else if mean < 10. then poisson_small g mean
+  else poisson_ptrs g mean
+
+let exponential g rate =
+  if rate <= 0. then invalid_arg "Sampling.exponential: rate must be positive";
+  -.log1p (-.Prng.float g) /. rate
+
+let geometric g p =
+  if p <= 0. || p > 1. then invalid_arg "Sampling.geometric: p not in (0,1]";
+  if p = 1. then 0
+  else
+    let u = Prng.float g in
+    int_of_float (floor (log1p (-.u) /. log1p (-.p)))
+
+let uniform_pair_distinct g n =
+  if n < 2 then invalid_arg "Sampling.uniform_pair_distinct: need n >= 2";
+  let a = Prng.int g n in
+  let b = Prng.int g (n - 1) in
+  let b = if b >= a then b + 1 else b in
+  (a, b)
+
+let choice g arr =
+  if Array.length arr = 0 then invalid_arg "Sampling.choice: empty array";
+  arr.(Prng.int g (Array.length arr))
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Prng.int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Sampling.sample_without_replacement";
+  (* Floyd's algorithm: k insertions into a set, O(k) expected. *)
+  let module IS = Set.Make (Int) in
+  let set = ref IS.empty in
+  for j = n - k to n - 1 do
+    let t = Prng.int g (j + 1) in
+    if IS.mem t !set then set := IS.add j !set else set := IS.add t !set
+  done;
+  IS.elements !set

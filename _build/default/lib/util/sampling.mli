@@ -1,0 +1,28 @@
+(** Random-variate sampling on top of {!Prng}. *)
+
+val poisson : Prng.t -> float -> int
+(** [poisson g mean] draws from a Poisson distribution.  Uses Knuth's
+    multiplicative method for small means and the PTRS transformed-rejection
+    method for large means, so it is exact and fast across the whole range
+    used by the workload generator. *)
+
+val exponential : Prng.t -> float -> float
+(** [exponential g rate] draws from Exp(rate). *)
+
+val geometric : Prng.t -> float -> int
+(** [geometric g p] is the number of failures before the first success of a
+    Bernoulli(p) sequence, for [0 < p <= 1]. *)
+
+val uniform_pair_distinct : Prng.t -> int -> int * int
+(** [uniform_pair_distinct g n] draws an ordered pair of distinct values in
+    [\[0, n)]; requires [n >= 2]. *)
+
+val choice : Prng.t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : Prng.t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : Prng.t -> int -> int -> int list
+(** [sample_without_replacement g k n] draws [k] distinct values from
+    [\[0, n)], in increasing order; requires [0 <= k <= n]. *)

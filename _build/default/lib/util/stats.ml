@@ -1,0 +1,89 @@
+type running = {
+  mutable n : int;
+  mutable mu : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let running_create () = { n = 0; mu = 0.; m2 = 0.; lo = infinity; hi = neg_infinity }
+
+let running_add r x =
+  r.n <- r.n + 1;
+  let delta = x -. r.mu in
+  r.mu <- r.mu +. (delta /. float_of_int r.n);
+  r.m2 <- r.m2 +. (delta *. (x -. r.mu));
+  if x < r.lo then r.lo <- x;
+  if x > r.hi then r.hi <- x
+
+let running_count r = r.n
+let running_mean r = if r.n = 0 then nan else r.mu
+let running_variance r = if r.n < 2 then nan else r.m2 /. float_of_int (r.n - 1)
+let running_stddev r = sqrt (running_variance r)
+let running_min r = r.lo
+let running_max r = r.hi
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let mean values =
+  let n = Array.length values in
+  if n = 0 then nan else Array.fold_left ( +. ) 0. values /. float_of_int n
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if q < 0. || q > 1. then invalid_arg "Stats.percentile: q out of [0,1]";
+  let rank = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1. -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+
+let summarize values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Stats.summarize: empty array";
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let r = running_create () in
+  Array.iter (running_add r) values;
+  {
+    count = n;
+    mean = running_mean r;
+    stddev = (if n < 2 then 0. else running_stddev r);
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    p50 = percentile sorted 0.5;
+    p90 = percentile sorted 0.9;
+    p99 = percentile sorted 0.99;
+  }
+
+let histogram ?(bins = 10) values =
+  let n = Array.length values in
+  if n = 0 || bins <= 0 then [||]
+  else
+    let lo = Array.fold_left min infinity values in
+    let hi = Array.fold_left max neg_infinity values in
+    let width = if hi > lo then (hi -. lo) /. float_of_int bins else 1. in
+    let counts = Array.make bins 0 in
+    Array.iter
+      (fun v ->
+        let b = int_of_float ((v -. lo) /. width) in
+        let b = if b >= bins then bins - 1 else b in
+        counts.(b) <- counts.(b) + 1)
+      values;
+    Array.mapi
+      (fun i c ->
+        let l = lo +. (float_of_int i *. width) in
+        (l, l +. width, c))
+      counts

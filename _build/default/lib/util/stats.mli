@@ -1,0 +1,42 @@
+(** Streaming and batch statistics used by the simulator and the experiment
+    harness. *)
+
+type running
+(** Welford accumulator for mean/variance over a stream of floats. *)
+
+val running_create : unit -> running
+val running_add : running -> float -> unit
+val running_count : running -> int
+val running_mean : running -> float
+(** Mean of the values seen so far; [nan] when empty. *)
+
+val running_variance : running -> float
+(** Unbiased sample variance; [nan] with fewer than two values. *)
+
+val running_stddev : running -> float
+val running_min : running -> float
+val running_max : running -> float
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float array -> summary
+(** Batch summary; the input array is not modified.  Raises
+    [Invalid_argument] on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q] with [q] in [\[0,1\]] over a {e sorted} array, using
+    linear interpolation between closest ranks. *)
+
+val mean : float array -> float
+val histogram : ?bins:int -> float array -> (float * float * int) array
+(** [histogram values] buckets values into [bins] equal-width buckets and
+    returns [(lo, hi, count)] per bucket. *)

@@ -1,0 +1,66 @@
+type align = Left | Right
+
+type row = Cells of string array | Rule
+
+type t = {
+  headers : string array;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create columns =
+  let headers = Array.of_list (List.map fst columns) in
+  let aligns = Array.of_list (List.map snd columns) in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  let len = List.length cells in
+  if len > n then invalid_arg "Table.add_row: too many cells";
+  let arr = Array.make n "" in
+  List.iteri (fun i c -> arr.(i) <- c) cells;
+  t.rows <- Cells arr :: t.rows
+
+let add_separator t = t.rows <- Rule :: t.rows
+
+let render t =
+  let ncols = Array.length t.headers in
+  let widths = Array.map String.length t.headers in
+  let rows = List.rev t.rows in
+  List.iter
+    (function
+      | Rule -> ()
+      | Cells cells ->
+          Array.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cells)
+    rows;
+  let buf = Buffer.create 256 in
+  let pad align width s =
+    let fill = width - String.length s in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+  in
+  let emit_cells cells =
+    for i = 0 to ncols - 1 do
+      if i > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (pad t.aligns.(i) widths.(i) cells.(i))
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let total_width = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let rule () = Buffer.add_string buf (String.make total_width '-' ^ "\n") in
+  emit_cells t.headers;
+  rule ();
+  List.iter (function Rule -> rule () | Cells cells -> emit_cells cells) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  flush stdout
+
+let cell_float ?(decimals = 2) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" decimals x
+
+let cell_ratio x base =
+  if Float.is_nan x || Float.is_nan base || base = 0. then "-"
+  else Printf.sprintf "%.2fx" (x /. base)

@@ -1,0 +1,29 @@
+(** Aligned plain-text tables for experiment and benchmark reports. *)
+
+type align = Left | Right
+
+type t
+
+val create : (string * align) list -> t
+(** [create columns] starts a table with the given header labels and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  Rows shorter than the header are padded with empty cells;
+    longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule before the next row. *)
+
+val render : t -> string
+(** Renders the table with a header rule, all columns padded to width. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a flush. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Formats a float for a table cell, using ["-"] for [nan]. *)
+
+val cell_ratio : float -> float -> string
+(** [cell_ratio x base] formats [x /. base] as e.g. ["1.73x"]; ["-"] when the
+    base is zero or either value is [nan]. *)

@@ -1,0 +1,10 @@
+  $ flowsched generate uniform -m 3 -n 8 --max-release 3 --seed 11 > inst.txt
+  $ cat inst.txt
+  $ flowsched lp-bound inst.txt
+  $ flowsched solve-mrt inst.txt --timeline
+  $ flowsched exact inst.txt
+  $ flowsched solve-art inst.txt
+  $ flowsched simulate inst.txt --policy minrtime
+  $ flowsched simulate inst.txt --policy turbo
+  $ printf 'switch 1 1\nflow 0 0\n' | flowsched lp-bound -
+  $ flowsched rtt --teachers 2 --classes 3 --seed 2

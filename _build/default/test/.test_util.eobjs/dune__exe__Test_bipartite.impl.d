@@ -1,0 +1,1 @@
+test/test_bipartite.ml: Alcotest Array Bgraph Bmatching Bvn Edge_coloring Flowsched_bipartite Flowsched_util List Matching QCheck2 QCheck_alcotest Weighted_matching

@@ -1,0 +1,1 @@
+test/test_coflow.ml: Alcotest Array Coflow Flowsched_core Flowsched_sim Flowsched_switch Flowsched_util Instance List QCheck2 QCheck_alcotest Schedule String

@@ -1,0 +1,1 @@
+test/test_hardness.ml: Alcotest Array Exact Flowsched_core Flowsched_switch Flowsched_util Hardness Instance List Mrt_scheduler QCheck2 QCheck_alcotest Schedule

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Flowsched_lp Flowsched_util List Lp_io Model Printf QCheck2 QCheck_alcotest Simplex

@@ -1,0 +1,1 @@
+test/test_mrt.ml: Alcotest Array Exact Flow Flowsched_core Flowsched_switch Flowsched_util Instance List Mrt_lp Mrt_rounding Mrt_scheduler QCheck2 QCheck_alcotest Schedule

@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Array Flow Flowsched_switch Flowsched_util Instance List QCheck2 QCheck_alcotest Schedule String

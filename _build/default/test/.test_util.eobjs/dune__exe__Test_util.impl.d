@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Flowsched_util Int64 List Prng QCheck2 QCheck_alcotest Sampling Stats String Table

@@ -1,0 +1,309 @@
+(* Tests for the FS-ART pipeline: LP (1)-(4) / (5)-(8), Lemma 3.1's lower
+   bound, the iterative rounding of Lemma 3.3, and Theorem 1's conversion to
+   a valid resource-augmented schedule. *)
+
+open Flowsched_switch
+open Flowsched_core
+
+let mk ?cap_in ?cap_out ~m specs = Instance.of_flows ?cap_in ?cap_out ~m ~m':m specs
+
+let tiny_instance seed ~m ~n ~maxrel =
+  let g = Flowsched_util.Prng.create seed in
+  mk ~m
+    (List.init n (fun _ ->
+         ( Flowsched_util.Prng.int g m,
+           Flowsched_util.Prng.int g m,
+           1,
+           Flowsched_util.Prng.int g (maxrel + 1) )))
+
+(* --- LP construction --- *)
+
+let test_default_horizon () =
+  (* 3 unit flows on the same port pair, all released at 2: horizon must
+     cover 2 + 3 rounds of draining. *)
+  let inst = mk ~m:1 [ (0, 0, 1, 2); (0, 0, 1, 2); (0, 0, 1, 2) ] in
+  Alcotest.(check bool) "covers drain" true (Art_lp.default_horizon inst >= 5)
+
+let test_round_lp_variables () =
+  let inst = mk ~m:2 [ (0, 1, 1, 3) ] in
+  let built = Art_lp.build_round_lp inst in
+  Alcotest.(check bool) "no var before release" true (built.Art_lp.var 0 2 = None);
+  Alcotest.(check bool) "var at release" true (built.Art_lp.var 0 3 <> None);
+  Alcotest.(check bool) "var list ordered" true
+    (let rounds = List.map fst built.Art_lp.vars_of_flow.(0) in
+     rounds = List.sort compare rounds && List.hd rounds = 3)
+
+let test_lower_bound_single_flow () =
+  (* One unit flow: the fractional response is (0 - 0)/1 + 1/2 = 0.5. *)
+  let inst = mk ~m:1 [ (0, 0, 1, 0) ] in
+  let bound = Art_lp.lower_bound inst in
+  Alcotest.(check (float 1e-6)) "Delta_e of a lone flow" 0.5 bound.Art_lp.total
+
+let test_lower_bound_contention () =
+  (* k flows on one unit port pair: fractional optimum is sum_{t<k} (t+1/2)
+     = k^2/2. *)
+  let k = 4 in
+  let inst = mk ~m:1 (List.init k (fun _ -> (0, 0, 1, 0))) in
+  let bound = Art_lp.lower_bound inst in
+  Alcotest.(check (float 1e-6)) "k^2/2" (float_of_int (k * k) /. 2.) bound.Art_lp.total
+
+let test_lower_bound_respects_capacity () =
+  (* Same contention but capacity 2: flows drain twice as fast. *)
+  let inst =
+    mk ~cap_in:[| 2 |] ~cap_out:[| 2 |] ~m:1 (List.init 4 (fun _ -> (0, 0, 1, 0)))
+  in
+  let bound = Art_lp.lower_bound inst in
+  (* kappa = 2 so the additive term is 1/(2*2); two flows per round for two
+     rounds: 2*(0 + 1/4) + 2*(1 + 1/4) = 3 *)
+  Alcotest.(check (float 1e-6)) "capacity-2 drain" 3. bound.Art_lp.total
+
+let test_interval_lp_relaxes_round_lp () =
+  let inst = tiny_instance 5 ~m:3 ~n:10 ~maxrel:3 in
+  let round_lp = Art_lp.build_round_lp inst in
+  let interval_lp = Art_lp.build_interval_lp inst in
+  let r1 = Flowsched_lp.Simplex.solve_or_fail round_lp.Art_lp.model in
+  let r2 = Flowsched_lp.Simplex.solve_or_fail interval_lp.Art_lp.model in
+  (* the interval LP aggregates capacity over 4-round windows: weaker *)
+  Alcotest.(check bool) "interval optimum <= round optimum" true
+    (r2.Flowsched_lp.Simplex.objective <= r1.Flowsched_lp.Simplex.objective +. 1e-6)
+
+let test_weighted_bound_uniform_weights () =
+  (* weight 1 everywhere must reproduce the unweighted bound *)
+  let inst = tiny_instance 19 ~m:3 ~n:8 ~maxrel:2 in
+  let w = Array.make (Instance.n inst) 1. in
+  let b0 = Art_lp.lower_bound inst in
+  let b1 = Art_lp.weighted_lower_bound inst ~weights:w in
+  Alcotest.(check (float 1e-6)) "same optimum" b0.Art_lp.total b1.Art_lp.total
+
+let test_weighted_bound_prioritizes () =
+  (* two flows on one unit port pair; the heavy flow should be served first
+     in the fractional optimum, so its fractional response stays at 1/2 *)
+  let inst = mk ~m:1 [ (0, 0, 1, 0); (0, 0, 1, 0) ] in
+  let b = Art_lp.weighted_lower_bound inst ~weights:[| 10.; 1. |] in
+  (* fractional values carry the weight factor; per unit weight the heavy
+     flow finishes first *)
+  Alcotest.(check bool) "heavy flow first" true
+    (b.Art_lp.fractional.(0) /. 10. < b.Art_lp.fractional.(1));
+  (* optimum: 10*(1/2) + 1*(1 + 1/2) = 6.5 *)
+  Alcotest.(check (float 1e-6)) "weighted optimum" 6.5 b.Art_lp.total
+
+let test_weighted_bound_validation () =
+  let inst = mk ~m:1 [ (0, 0, 1, 0) ] in
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Art_lp.weighted_lower_bound: negative weight") (fun () ->
+      ignore (Art_lp.weighted_lower_bound inst ~weights:[| -1. |]));
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Art_lp.weighted_lower_bound: one weight per flow") (fun () ->
+      ignore (Art_lp.weighted_lower_bound inst ~weights:[||]))
+
+let prop_weighted_bound_below_schedules =
+  QCheck2.Test.make ~name:"weighted LP bound <= weighted cost of FIFO" ~count:40
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 2 4) (int_range 1 15))
+    (fun (seed, m, n) ->
+      let inst = tiny_instance seed ~m ~n ~maxrel:3 in
+      let g = Flowsched_util.Prng.create (seed + 3) in
+      let weights =
+        Array.init n (fun _ -> float_of_int (Flowsched_util.Prng.int g 5))
+      in
+      let fifo = Baselines.fifo inst in
+      let horizon = max (Art_lp.default_horizon inst) (Schedule.makespan fifo) in
+      let bound = Art_lp.weighted_lower_bound ~horizon inst ~weights in
+      bound.Art_lp.total
+      <= Schedule.weighted_total_response inst ~weights fifo +. 1e-6)
+
+let prop_lp_bounds_exact_optimum =
+  QCheck2.Test.make ~name:"LP (1)-(4) lower bounds the exact optimum" ~count:60
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 1 3) (int_range 1 6))
+    (fun (seed, m, n) ->
+      let inst = tiny_instance seed ~m ~n ~maxrel:2 in
+      let bound = Art_lp.lower_bound inst in
+      let exact, _ = Exact.min_total_response inst in
+      bound.Art_lp.total <= float_of_int exact +. 1e-6)
+
+let prop_lp_bound_below_fifo =
+  QCheck2.Test.make ~name:"LP bound <= FIFO upper bound" ~count:60
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 2 5) (int_range 1 25))
+    (fun (seed, m, n) ->
+      let inst = tiny_instance seed ~m ~n ~maxrel:4 in
+      let fifo = Baselines.fifo inst in
+      let horizon =
+        max (Art_lp.default_horizon inst) (Schedule.makespan fifo)
+      in
+      let bound = Art_lp.lower_bound ~horizon inst in
+      Schedule.is_valid inst fifo
+      && bound.Art_lp.total <= float_of_int (Schedule.total_response inst fifo) +. 1e-6)
+
+(* --- iterative rounding --- *)
+
+let test_rounding_completes () =
+  let inst = tiny_instance 11 ~m:3 ~n:14 ~maxrel:3 in
+  let pseudo, diag = Iterative_rounding.run inst in
+  Alcotest.(check bool) "all flows assigned" true (Schedule.is_complete pseudo);
+  Alcotest.(check bool) "no forced fixes" true (diag.Iterative_rounding.forced = 0);
+  (* each flow sits at or after its release *)
+  Array.iter
+    (fun (f : Flow.t) ->
+      Alcotest.(check bool) "release respected" true
+        (Schedule.round_of pseudo f.Flow.id >= f.Flow.release))
+    inst.Instance.flows
+
+let test_rounding_multi_iteration_path () =
+  (* dense enough that LP(0) leaves fractional flows: the interval
+     regrouping of iteration >= 1 must run and still satisfy the chain *)
+  let inst = Flowsched_sim.Workload.uniform_total ~m:3 ~n:60 ~max_release:8 ~seed:2 in
+  let pseudo, diag = Iterative_rounding.run inst in
+  Alcotest.(check bool) "regrouping exercised" true (diag.Iterative_rounding.iterations >= 2);
+  Alcotest.(check bool) "still no forced fixes" true (diag.Iterative_rounding.forced = 0);
+  Alcotest.(check bool) "complete" true (Schedule.is_complete pseudo);
+  Alcotest.(check bool) "cost chain" true
+    (diag.Iterative_rounding.assignment_cost <= diag.Iterative_rounding.lp_objective +. 1e-5)
+
+let test_rounding_cost_dominated_by_lp () =
+  let inst = tiny_instance 13 ~m:3 ~n:16 ~maxrel:4 in
+  let _, diag = Iterative_rounding.run inst in
+  Alcotest.(check bool) "assignment cost <= LP(0) optimum" true
+    (diag.Iterative_rounding.assignment_cost <= diag.Iterative_rounding.lp_objective +. 1e-5)
+
+let prop_rounding_invariants =
+  QCheck2.Test.make ~name:"iterative rounding: cost chain + backlog bound" ~count:30
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 2 4) (int_range 2 20))
+    (fun (seed, m, n) ->
+      let inst = tiny_instance seed ~m ~n ~maxrel:4 in
+      let pseudo, diag = Iterative_rounding.run inst in
+      let cmax =
+        Array.fold_left max 0 inst.Instance.cap_in
+        |> max (Array.fold_left max 0 inst.Instance.cap_out)
+      in
+      Schedule.is_complete pseudo
+      && diag.Iterative_rounding.forced = 0
+      && diag.Iterative_rounding.assignment_cost
+         <= diag.Iterative_rounding.lp_objective +. 1e-5
+      (* Lemma 3.7: Vol <= c(t2-t1) + 4c + 10c*iterations *)
+      && diag.Iterative_rounding.backlog
+         <= cmax * (4 + (10 * diag.Iterative_rounding.iterations)))
+
+let prop_rounding_iterations_logarithmic =
+  QCheck2.Test.make ~name:"iterative rounding: O(log n) LP solves" ~count:20
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 4 32))
+    (fun (seed, n) ->
+      let inst = tiny_instance seed ~m:3 ~n ~maxrel:4 in
+      let _, diag = Iterative_rounding.run inst in
+      (* Lemma 3.5 gives ceil(log2 n) + 1; allow +2 slack for degenerate
+         vertices *)
+      let log2n = int_of_float (ceil (log (float_of_int n) /. log 2.)) in
+      diag.Iterative_rounding.iterations <= log2n + 3)
+
+(* --- Theorem 1 end to end --- *)
+
+let test_theorem1_validity () =
+  let inst = tiny_instance 17 ~m:3 ~n:18 ~maxrel:4 in
+  let res = Art_scheduler.solve ~c:1 inst in
+  Alcotest.(check bool) "valid under (1+c) capacities" true
+    (Schedule.is_valid res.Art_scheduler.augmented res.Art_scheduler.schedule);
+  Alcotest.(check (array int)) "augmented caps are 2x" [| 2; 2; 2 |]
+    res.Art_scheduler.augmented.Instance.cap_in;
+  Alcotest.(check bool) "lp bound below result" true
+    (res.Art_scheduler.lp_total
+    <= float_of_int res.Art_scheduler.total_response +. 1e-6)
+
+let test_theorem1_rejects_nonunit () =
+  let inst = mk ~cap_in:[| 2 |] ~cap_out:[| 2 |] ~m:1 [ (0, 0, 2, 0) ] in
+  Alcotest.check_raises "non-unit demand"
+    (Invalid_argument "Art_scheduler.solve: Theorem 1 requires unit demands") (fun () ->
+      ignore (Art_scheduler.solve inst))
+
+let test_theorem1_rejects_bad_c () =
+  let inst = mk ~m:1 [ (0, 0, 1, 0) ] in
+  Alcotest.check_raises "c = 0"
+    (Invalid_argument "Art_scheduler.solve: c must be a positive integer") (fun () ->
+      ignore (Art_scheduler.solve ~c:0 inst))
+
+let prop_theorem1_guarantees =
+  QCheck2.Test.make ~name:"Theorem 1: valid schedule, bounded response" ~count:25
+    QCheck2.Gen.(
+      quad (int_bound 1_000_000) (int_range 2 4) (int_range 1 24) (int_range 1 3))
+    (fun (seed, m, n, c) ->
+      let inst = tiny_instance seed ~m ~n ~maxrel:3 in
+      let res = Art_scheduler.solve ~c inst in
+      let d = res.Art_scheduler.diagnostics in
+      Schedule.is_valid res.Art_scheduler.augmented res.Art_scheduler.schedule
+      (* every flow delayed at most h + d + spill beyond its pseudo cost *)
+      && res.Art_scheduler.total_response
+         <= int_of_float (ceil d.Art_scheduler.rounding.Iterative_rounding.assignment_cost)
+            + (n
+              * (d.Art_scheduler.h + d.Art_scheduler.max_classes
+                + d.Art_scheduler.spill_rounds + 1))
+      && res.Art_scheduler.lp_total
+         <= float_of_int res.Art_scheduler.total_response +. 1e-6)
+
+let test_greedy_ablation_valid () =
+  let inst = tiny_instance 37 ~m:3 ~n:20 ~maxrel:4 in
+  let res = Art_scheduler.solve_greedy ~c:1 inst in
+  Alcotest.(check bool) "valid under (1+c) capacities" true
+    (Schedule.is_valid res.Art_scheduler.augmented res.Art_scheduler.schedule);
+  Alcotest.(check bool) "no LP was solved" true (Float.is_nan res.Art_scheduler.lp_total);
+  Alcotest.(check int) "zero LP iterations" 0
+    res.Art_scheduler.diagnostics.Art_scheduler.rounding.Iterative_rounding.iterations
+
+let prop_greedy_ablation_valid =
+  QCheck2.Test.make ~name:"greedy ablation: always valid, completes" ~count:25
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 2 4) (int_range 2 30))
+    (fun (seed, m, n) ->
+      let inst = tiny_instance seed ~m ~n ~maxrel:4 in
+      let res = Art_scheduler.solve_greedy ~c:2 inst in
+      Schedule.is_complete res.Art_scheduler.schedule
+      && Schedule.is_valid res.Art_scheduler.augmented res.Art_scheduler.schedule)
+
+let prop_theorem1_larger_c_smaller_h =
+  QCheck2.Test.make ~name:"Theorem 1: larger c never increases block length" ~count:15
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 6 20))
+    (fun (seed, n) ->
+      let inst = tiny_instance seed ~m:3 ~n ~maxrel:3 in
+      let r1 = Art_scheduler.solve ~c:1 inst in
+      let r4 = Art_scheduler.solve ~c:4 inst in
+      r4.Art_scheduler.diagnostics.Art_scheduler.h
+      <= r1.Art_scheduler.diagnostics.Art_scheduler.h)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_weighted_bound_below_schedules;
+        prop_lp_bounds_exact_optimum;
+        prop_lp_bound_below_fifo;
+        prop_rounding_invariants;
+        prop_rounding_iterations_logarithmic;
+        prop_theorem1_guarantees;
+        prop_greedy_ablation_valid;
+        prop_theorem1_larger_c_smaller_h;
+      ]
+  in
+  Alcotest.run "flowsched_art"
+    [
+      ( "lp",
+        [
+          Alcotest.test_case "default horizon" `Quick test_default_horizon;
+          Alcotest.test_case "variable layout" `Quick test_round_lp_variables;
+          Alcotest.test_case "single flow bound" `Quick test_lower_bound_single_flow;
+          Alcotest.test_case "contention bound" `Quick test_lower_bound_contention;
+          Alcotest.test_case "capacity-aware bound" `Quick test_lower_bound_respects_capacity;
+          Alcotest.test_case "interval LP relaxes round LP" `Quick test_interval_lp_relaxes_round_lp;
+          Alcotest.test_case "weighted bound: uniform weights" `Quick test_weighted_bound_uniform_weights;
+          Alcotest.test_case "weighted bound: prioritizes heavy" `Quick test_weighted_bound_prioritizes;
+          Alcotest.test_case "weighted bound: validation" `Quick test_weighted_bound_validation;
+        ] );
+      ( "iterative-rounding",
+        [
+          Alcotest.test_case "completes integrally" `Quick test_rounding_completes;
+          Alcotest.test_case "multi-iteration regrouping" `Quick test_rounding_multi_iteration_path;
+          Alcotest.test_case "cost below LP optimum" `Quick test_rounding_cost_dominated_by_lp;
+        ] );
+      ( "theorem1",
+        [
+          Alcotest.test_case "validity" `Quick test_theorem1_validity;
+          Alcotest.test_case "rejects non-unit demands" `Quick test_theorem1_rejects_nonunit;
+          Alcotest.test_case "rejects bad c" `Quick test_theorem1_rejects_bad_c;
+          Alcotest.test_case "greedy ablation" `Quick test_greedy_ablation_valid;
+        ] );
+      ("properties", props);
+    ]

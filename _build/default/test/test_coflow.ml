@@ -1,0 +1,157 @@
+(* Tests for the co-flow extension (the paper's future-work direction) and
+   the schedule timeline renderer. *)
+
+open Flowsched_switch
+open Flowsched_core
+
+let mk ~m specs = Instance.of_flows ~m ~m':m specs
+
+let contains s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+(* --- construction --- *)
+
+let test_make_validates () =
+  let inst = mk ~m:2 [ (0, 0, 1, 0); (1, 1, 1, 0) ] in
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Coflow.make: one group per flow required") (fun () ->
+      ignore (Coflow.make inst ~group_of:[| 0 |]));
+  Alcotest.check_raises "sparse ids" (Invalid_argument "Coflow.make: group ids must be dense")
+    (fun () -> ignore (Coflow.make inst ~group_of:[| 0; 2 |]));
+  let cf = Coflow.make inst ~group_of:[| 0; 1 |] in
+  Alcotest.(check int) "groups" 2 cf.Coflow.groups
+
+let test_random_grouping_dense () =
+  let inst = mk ~m:3 (List.init 9 (fun i -> (i mod 3, i mod 3, 1, 0))) in
+  let cf = Coflow.random_grouping ~seed:4 ~groups:4 inst in
+  Alcotest.(check int) "groups" 4 cf.Coflow.groups;
+  let seen = Array.make 4 false in
+  Array.iter (fun g -> seen.(g) <- true) cf.Coflow.group_of;
+  Alcotest.(check bool) "all groups used" true (Array.for_all (fun x -> x) seen)
+
+(* --- metrics --- *)
+
+let test_members_release_bottleneck () =
+  let inst = mk ~m:2 [ (0, 0, 1, 2); (0, 1, 1, 5); (1, 1, 1, 0) ] in
+  let cf = Coflow.make inst ~group_of:[| 0; 0; 1 |] in
+  Alcotest.(check (list int)) "members" [ 0; 1 ] (Coflow.members cf 0);
+  Alcotest.(check int) "release = min member" 2 (Coflow.release cf 0);
+  (* group 0 has two flows sharing input port 0: bottleneck 2 *)
+  Alcotest.(check int) "bottleneck" 2 (Coflow.bottleneck cf 0);
+  Alcotest.(check int) "singleton bottleneck" 1 (Coflow.bottleneck cf 1)
+
+let test_response_times () =
+  let inst = mk ~m:2 [ (0, 0, 1, 0); (0, 1, 1, 0); (1, 1, 1, 0) ] in
+  let cf = Coflow.make inst ~group_of:[| 0; 0; 1 |] in
+  let s = Schedule.make [| 0; 3; 1 |] in
+  (* group 0 completes at round 3 -> response 4; group 1 at 1 -> 2 *)
+  Alcotest.(check (array int)) "responses" [| 4; 2 |] (Coflow.response_times cf s);
+  Alcotest.(check (float 1e-9)) "avg" 3. (Coflow.average_response cf s);
+  Alcotest.(check int) "max" 4 (Coflow.max_response cf s)
+
+(* --- SEBF vs group-blind FIFO --- *)
+
+let test_sebf_prioritizes_small_coflow () =
+  (* A 1-flow co-flow and a 4-flow co-flow all on the same port pair,
+     interleaved ids so FIFO (by release, id) runs a big-co-flow flow
+     first.  SEBF must finish the small co-flow in round 0. *)
+  let inst = mk ~m:1 [ (0, 0, 1, 0); (0, 0, 1, 0); (0, 0, 1, 0); (0, 0, 1, 0); (0, 0, 1, 0) ] in
+  let cf = Coflow.make inst ~group_of:[| 1; 1; 0; 1; 1 |] in
+  let sebf = Coflow.sebf cf in
+  Alcotest.(check bool) "valid" true (Schedule.is_valid inst sebf);
+  Alcotest.(check int) "small coflow first" 0 (Schedule.round_of sebf 2);
+  (* avg coflow response: SEBF = (1 + 5)/2 = 3; FIFO-by-id = (3 + 5)/2 = 4 *)
+  let fifo = Coflow.flow_fifo cf in
+  Alcotest.(check bool) "SEBF beats blind FIFO on avg coflow response" true
+    (Coflow.average_response cf sebf < Coflow.average_response cf fifo)
+
+let test_sebf_work_conserving () =
+  let inst = mk ~m:2 [ (0, 0, 1, 0); (1, 1, 1, 0); (0, 1, 1, 1) ] in
+  let cf = Coflow.make inst ~group_of:[| 0; 1; 2 |] in
+  let s = Coflow.sebf cf in
+  (* the two round-0 flows are port-disjoint: both must run immediately *)
+  Alcotest.(check int) "flow 0 at round 0" 0 (Schedule.round_of s 0);
+  Alcotest.(check int) "flow 1 at round 0" 0 (Schedule.round_of s 1)
+
+let prop_sebf_valid_and_bounded =
+  QCheck2.Test.make ~name:"SEBF: valid schedules, response >= bottleneck" ~count:50
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 1 4) (int_range 2 20))
+    (fun (seed, groups, n) ->
+      let g = Flowsched_util.Prng.create seed in
+      let m = 3 in
+      let inst =
+        mk ~m
+          (List.init n (fun _ ->
+               ( Flowsched_util.Prng.int g m,
+                 Flowsched_util.Prng.int g m,
+                 1,
+                 Flowsched_util.Prng.int g 4 )))
+      in
+      let groups = min groups n in
+      let cf = Coflow.random_grouping ~seed:(seed + 1) ~groups inst in
+      let s = Coflow.sebf cf in
+      let rts = Coflow.response_times cf s in
+      Schedule.is_valid inst s
+      && Array.for_all (fun r -> r >= 1) rts
+      (* each co-flow needs at least its bottleneck many rounds *)
+      && List.for_all
+           (fun gid -> rts.(gid) >= Coflow.bottleneck cf gid)
+           (List.init cf.Coflow.groups (fun i -> i)))
+
+let prop_flow_metrics_dominated_by_coflow_metrics =
+  QCheck2.Test.make ~name:"coflow avg response >= flow avg response" ~count:50
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 2 20))
+    (fun (seed, n) ->
+      let inst = Flowsched_sim.Workload.uniform_total ~m:3 ~n ~max_release:3 ~seed in
+      let cf = Coflow.random_grouping ~seed:(seed + 5) ~groups:(max 1 (n / 3)) inst in
+      let s = Coflow.sebf cf in
+      (* a co-flow waits for its slowest member, so group-average response
+         cannot be smaller than... (note: releases differ, so compare via
+         max) *)
+      Coflow.max_response cf s >= Schedule.max_response inst s - Instance.last_release inst)
+
+(* --- timeline rendering --- *)
+
+let test_render_timeline () =
+  let inst = mk ~m:2 [ (0, 0, 1, 0); (1, 1, 1, 0); (0, 1, 1, 1) ] in
+  let s = Schedule.make [| 0; 0; 1 |] in
+  let text = Schedule.render_timeline inst s in
+  Alcotest.(check bool) "has input rows" true (contains text "in    0 |");
+  Alcotest.(check bool) "has output rows" true (contains text "out   1 |");
+  Alcotest.(check bool) "idle cells" true (contains text ".");
+  Alcotest.(check bool) "no overload marker" false (contains text "!")
+
+let test_render_timeline_overload () =
+  let inst = mk ~m:1 [ (0, 0, 1, 0); (0, 0, 1, 0) ] in
+  let s = Schedule.make [| 0; 0 |] in
+  let text = Schedule.render_timeline inst s in
+  Alcotest.(check bool) "overload marked" true (contains text "2!")
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_sebf_valid_and_bounded; prop_flow_metrics_dominated_by_coflow_metrics ]
+  in
+  Alcotest.run "flowsched_coflow"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "random grouping" `Quick test_random_grouping_dense;
+          Alcotest.test_case "members/release/bottleneck" `Quick test_members_release_bottleneck;
+          Alcotest.test_case "response times" `Quick test_response_times;
+        ] );
+      ( "sebf",
+        [
+          Alcotest.test_case "prioritizes small coflows" `Quick test_sebf_prioritizes_small_coflow;
+          Alcotest.test_case "work conserving" `Quick test_sebf_work_conserving;
+        ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "render" `Quick test_render_timeline;
+          Alcotest.test_case "overload marker" `Quick test_render_timeline_overload;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the Theorem 2 reduction: RTT <-> FS-MRT with rho = 3, both
+   directions machine-checked against the exact solver, plus the
+   augmentation escape hatch of Remark 4.4. *)
+
+open Flowsched_switch
+open Flowsched_core
+
+let simple_rtt =
+  {
+    Hardness.teachers = 2;
+    classes = 3;
+    tsets = [| [ 1; 3 ]; [ 1; 2; 3 ] |];
+    assigns = [| [ 0; 1 ]; [ 0; 1; 2 ] |];
+  }
+
+(* Two teachers both available only {1,2} and both required to meet classes
+   {0,1}: every bijection collides on some (class, hour), so unsatisfiable. *)
+let unsat_rtt =
+  {
+    Hardness.teachers = 3;
+    classes = 2;
+    tsets = [| [ 1; 2 ]; [ 1; 2 ]; [ 1; 2 ] |];
+    assigns = [| [ 0; 1 ]; [ 0; 1 ]; [ 0; 1 ] |];
+  }
+
+let random_rtt seed =
+  let g = Flowsched_util.Prng.create seed in
+  let teachers = 1 + Flowsched_util.Prng.int g 3 in
+  let classes = 2 + Flowsched_util.Prng.int g 3 in
+  let tsets =
+    Array.init teachers (fun _ ->
+        let size = 2 + Flowsched_util.Prng.int g 2 in
+        Flowsched_util.Sampling.sample_without_replacement g size 3
+        |> List.map (fun h -> h + 1))
+  in
+  let assigns =
+    Array.init teachers (fun i ->
+        let size = List.length tsets.(i) in
+        if size > classes then
+          (* resample hours to fit the class count *)
+          []
+        else Flowsched_util.Sampling.sample_without_replacement g size classes)
+  in
+  (* patch any oversized tsets by trimming to the class count *)
+  let tsets =
+    Array.mapi
+      (fun i ts ->
+        if assigns.(i) = [] then begin
+          let trimmed = [ List.nth ts 0; List.nth ts 1 ] in
+          trimmed
+        end
+        else ts)
+      tsets
+  in
+  let assigns =
+    Array.mapi
+      (fun i js ->
+        if js = [] then
+          Flowsched_util.Sampling.sample_without_replacement g (List.length tsets.(i)) classes
+        else js)
+      assigns
+  in
+  { Hardness.teachers; classes; tsets; assigns }
+
+(* --- validation --- *)
+
+let test_validate_catches_errors () =
+  let bad_size = { simple_rtt with Hardness.tsets = [| [ 1 ]; [ 1; 2 ] |] } in
+  (match Hardness.validate bad_size with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected |T_i| >= 2 error");
+  let bad_hour = { simple_rtt with Hardness.tsets = [| [ 1; 4 ]; [ 1; 2; 3 ] |] } in
+  (match Hardness.validate bad_hour with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected hour range error");
+  let bad_g = { simple_rtt with Hardness.assigns = [| [ 0 ]; [ 0; 1; 2 ] |] } in
+  (match Hardness.validate bad_g with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected |g(i)| = |T_i| error");
+  match Hardness.validate simple_rtt with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid instance rejected: %s" e
+
+(* --- brute-force RTT --- *)
+
+let test_satisfiable_instances () =
+  Alcotest.(check bool) "simple satisfiable" true (Hardness.satisfiable simple_rtt);
+  Alcotest.(check bool) "pigeonhole unsatisfiable" false (Hardness.satisfiable unsat_rtt)
+
+let test_find_timetable_witness () =
+  match Hardness.find_timetable simple_rtt with
+  | None -> Alcotest.fail "expected witness"
+  | Some f -> Alcotest.(check bool) "witness checks" true (Hardness.check_timetable simple_rtt f)
+
+let test_check_timetable_rejects () =
+  (* wrong hour for teacher 0 (2 not in {1,3}) *)
+  Alcotest.(check bool) "hour outside T_i" false
+    (Hardness.check_timetable simple_rtt [ (0, 0, 2); (0, 1, 1); (1, 0, 3); (1, 1, 2); (1, 2, 1) ]);
+  (* missing meeting *)
+  Alcotest.(check bool) "incomplete coverage" false
+    (Hardness.check_timetable simple_rtt [ (0, 0, 1); (1, 0, 3); (1, 1, 2); (1, 2, 1) ])
+
+(* --- reduction structure --- *)
+
+let count_specials rtt =
+  Array.fold_left
+    (fun acc ts -> match ts with [ 1; 3 ] | [ 1; 2 ] -> acc + 1 | _ -> acc)
+    0 rtt.Hardness.tsets
+
+let test_reduce_structure () =
+  let red = Hardness.reduce simple_rtt in
+  let specials = count_specials simple_rtt in
+  let mains = Array.fold_left (fun acc js -> acc + List.length js) 0 simple_rtt.Hardness.assigns in
+  Alcotest.(check int) "rho is 3" 3 red.Hardness.rho;
+  Alcotest.(check int) "main flow count" mains (List.length red.Hardness.main_flows);
+  Alcotest.(check int) "flow count" (mains + (3 * simple_rtt.Hardness.classes) + (4 * specials))
+    (Instance.n red.Hardness.instance);
+  Alcotest.(check int) "output ports" (simple_rtt.Hardness.classes + specials)
+    red.Hardness.instance.Instance.m'
+
+(* --- the equivalence, both directions --- *)
+
+let test_forward_direction () =
+  (* timetable -> schedule with max response 3 *)
+  let red = Hardness.reduce simple_rtt in
+  match Hardness.find_timetable simple_rtt with
+  | None -> Alcotest.fail "satisfiable instance"
+  | Some f ->
+      let s = Hardness.schedule_of_timetable simple_rtt red f in
+      (match Schedule.validate red.Hardness.instance s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "forward schedule invalid: %s" e);
+      Alcotest.(check int) "max response 3" 3
+        (Schedule.max_response red.Hardness.instance s)
+
+let test_backward_direction () =
+  (* schedule with rho <= 3 -> valid timetable *)
+  let red = Hardness.reduce simple_rtt in
+  match Exact.feasible_with_rho red.Hardness.instance ~rho:3 with
+  | None -> Alcotest.fail "reduced instance must be schedulable (RTT satisfiable)"
+  | Some s -> (
+      match Hardness.timetable_of_schedule simple_rtt red s with
+      | Error e -> Alcotest.failf "extraction failed: %s" e
+      | Ok f ->
+          Alcotest.(check bool) "extracted timetable valid" true
+            (Hardness.check_timetable simple_rtt f))
+
+let test_unsat_blocks_rho3 () =
+  let red = Hardness.reduce unsat_rtt in
+  Alcotest.(check bool) "no schedule with rho=3" true
+    (Exact.feasible_with_rho red.Hardness.instance ~rho:3 = None);
+  (* but rho=4 is always possible for these gadgets *)
+  Alcotest.(check bool) "rho=4 works" true
+    (Exact.feasible_with_rho red.Hardness.instance ~rho:4 <> None)
+
+let test_augmentation_breaks_hardness () =
+  (* Remark 4.4: +1 capacity lets the LP solver reach rho <= 3 even on the
+     unsatisfiable gadget — exactly why the approximation needs
+     augmentation. *)
+  let red = Hardness.reduce unsat_rtt in
+  if Mrt_scheduler.feasible_rho red.Hardness.instance 3 then begin
+    let sol = Mrt_scheduler.solve ~rho:3 red.Hardness.instance in
+    Alcotest.(check bool) "rho 3 under +1 capacity" true (sol.Mrt_scheduler.rho <= 3);
+    Alcotest.(check bool) "valid augmented" true
+      (Schedule.is_valid sol.Mrt_scheduler.augmented sol.Mrt_scheduler.schedule)
+  end
+  else
+    (* The LP itself may detect integral infeasibility on tiny gadgets; the
+       claim then holds vacuously, but we still require rho=4 to round. *)
+    let sol = Mrt_scheduler.solve red.Hardness.instance in
+    Alcotest.(check bool) "solver still succeeds" true
+      (Schedule.is_complete sol.Mrt_scheduler.schedule)
+
+let prop_reduction_equivalence =
+  QCheck2.Test.make ~name:"RTT satisfiable <=> reduced instance rho-3 schedulable" ~count:30
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rtt = random_rtt seed in
+      match Hardness.validate rtt with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+          let red = Hardness.reduce rtt in
+          let sat = Hardness.satisfiable rtt in
+          let schedulable = Exact.feasible_with_rho red.Hardness.instance ~rho:3 <> None in
+          sat = schedulable)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"timetable -> schedule -> timetable round-trip" ~count:30
+    QCheck2.Gen.(int_bound 1_000_000)
+    (fun seed ->
+      let rtt = random_rtt seed in
+      match Hardness.validate rtt with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () -> (
+          match Hardness.find_timetable rtt with
+          | None -> true
+          | Some f ->
+              let red = Hardness.reduce rtt in
+              let s = Hardness.schedule_of_timetable rtt red f in
+              (match Hardness.timetable_of_schedule rtt red s with
+              | Ok f' -> Hardness.check_timetable rtt f'
+              | Error _ -> false)))
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest [ prop_reduction_equivalence; prop_roundtrip ]
+  in
+  Alcotest.run "flowsched_hardness"
+    [
+      ( "rtt",
+        [
+          Alcotest.test_case "validation" `Quick test_validate_catches_errors;
+          Alcotest.test_case "satisfiability" `Quick test_satisfiable_instances;
+          Alcotest.test_case "witness" `Quick test_find_timetable_witness;
+          Alcotest.test_case "check rejects bad timetables" `Quick test_check_timetable_rejects;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "structure" `Quick test_reduce_structure;
+          Alcotest.test_case "forward direction" `Quick test_forward_direction;
+          Alcotest.test_case "backward direction" `Quick test_backward_direction;
+          Alcotest.test_case "unsat blocks rho 3" `Quick test_unsat_blocks_rho3;
+          Alcotest.test_case "augmentation breaks hardness" `Quick test_augmentation_breaks_hardness;
+        ] );
+      ("properties", props);
+    ]

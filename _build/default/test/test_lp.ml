@@ -1,0 +1,550 @@
+(* Tests for flowsched_lp: model construction and the two-phase revised
+   simplex, including randomized feasibility/optimality properties. *)
+
+open Flowsched_lp
+
+let check_close ?(tol = 1e-6) what expected got =
+  if abs_float (expected -. got) > tol then
+    Alcotest.failf "%s: expected %.9f, got %.9f" what expected got
+
+(* --- model --- *)
+
+let test_model_basic () =
+  let m = Model.create () in
+  let x = Model.add_var ~name:"x" ~obj:1. m in
+  let y = Model.add_var ~name:"y" m in
+  Model.set_obj m y 3.;
+  let r = Model.add_constraint ~name:"cap" m [ (x, 1.); (y, 2.) ] Model.Le 10. in
+  Alcotest.(check int) "vars" 2 (Model.num_vars m);
+  Alcotest.(check int) "rows" 1 (Model.num_rows m);
+  Alcotest.(check string) "var name" "x" (Model.var_name m x);
+  Alcotest.(check string) "row name" "cap" (Model.row_name m r);
+  check_close "obj coeff" 3. (Model.objective_coeff m y);
+  check_close "activity" 8. (Model.row_activity m [| 2.; 3. |] r)
+
+let test_model_merges_duplicate_terms () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  let r = Model.add_constraint m [ (x, 1.); (x, 2.) ] Model.Le 5. in
+  match Model.row_terms m r with
+  | [ (v, c) ] ->
+      Alcotest.(check int) "var" x v;
+      check_close "merged coeff" 3. c
+  | terms -> Alcotest.failf "expected 1 term, got %d" (List.length terms)
+
+let test_model_rejects_unknown_var () =
+  let m = Model.create () in
+  Alcotest.check_raises "unknown var"
+    (Invalid_argument "Model.add_constraint: unknown variable") (fun () ->
+      ignore (Model.add_constraint m [ (0, 1.) ] Model.Le 1.))
+
+let test_model_is_feasible () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Ge 2.);
+  Alcotest.(check bool) "feasible point" true (Model.is_feasible m [| 3. |]);
+  Alcotest.(check bool) "infeasible point" false (Model.is_feasible m [| 1. |]);
+  Alcotest.(check bool) "negative var" false (Model.is_feasible m [| -1. |])
+
+(* --- simplex on hand-checked instances --- *)
+
+let test_simplex_simple_le () =
+  (* min -x1 - 2 x2  s.t.  x1 + x2 <= 4, x1 <= 2  =>  x = (0,4), obj -8 *)
+  let m = Model.create () in
+  let x1 = Model.add_var ~obj:(-1.) m in
+  let x2 = Model.add_var ~obj:(-2.) m in
+  ignore (Model.add_constraint m [ (x1, 1.); (x2, 1.) ] Model.Le 4.);
+  ignore (Model.add_constraint m [ (x1, 1.) ] Model.Le 2.);
+  let r = Simplex.solve m in
+  Alcotest.(check bool) "optimal" true (r.Simplex.status = Simplex.Optimal);
+  check_close "objective" (-8.) r.Simplex.objective;
+  check_close "x2" 4. r.Simplex.values.(x2)
+
+let test_simplex_ge_rows () =
+  (* min 2x + 3y  s.t.  x + y >= 4, x >= 1  => (3,1) obj 9 ... check:
+     candidates: y=0,x=4 obj 8; x=1,y=3 obj 11; so optimum is x=4,y=0, obj 8 *)
+  let m = Model.create () in
+  let x = Model.add_var ~obj:2. m in
+  let y = Model.add_var ~obj:3. m in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Ge 4.);
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Ge 1.);
+  let r = Simplex.solve_or_fail m in
+  check_close "objective" 8. r.Simplex.objective;
+  check_close "x" 4. r.Simplex.values.(x);
+  check_close "y" 0. r.Simplex.values.(y)
+
+let test_simplex_eq_rows () =
+  (* min x + y  s.t.  x + 2y = 6, x - y = 0  =>  x = y = 2, obj 4 *)
+  let m = Model.create () in
+  let x = Model.add_var ~obj:1. m in
+  let y = Model.add_var ~obj:1. m in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 2.) ] Model.Eq 6.);
+  ignore (Model.add_constraint m [ (x, 1.); (y, -1.) ] Model.Eq 0.);
+  let r = Simplex.solve_or_fail m in
+  check_close "objective" 4. r.Simplex.objective;
+  check_close "x" 2. r.Simplex.values.(x);
+  check_close "y" 2. r.Simplex.values.(y)
+
+let test_simplex_negative_rhs () =
+  (* min x s.t. -x <= -3  (i.e. x >= 3) *)
+  let m = Model.create () in
+  let x = Model.add_var ~obj:1. m in
+  ignore (Model.add_constraint m [ (x, -1.) ] Model.Le (-3.));
+  let r = Simplex.solve_or_fail m in
+  check_close "objective" 3. r.Simplex.objective
+
+let test_simplex_infeasible () =
+  let m = Model.create () in
+  let x = Model.add_var m in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Le 1.);
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Ge 2.);
+  let r = Simplex.solve m in
+  Alcotest.(check bool) "infeasible" true (r.Simplex.status = Simplex.Infeasible)
+
+let test_simplex_unbounded () =
+  let m = Model.create () in
+  let x = Model.add_var ~obj:(-1.) m in
+  let y = Model.add_var m in
+  ignore (Model.add_constraint m [ (x, 1.); (y, -1.) ] Model.Le 1.);
+  let r = Simplex.solve m in
+  Alcotest.(check bool) "unbounded" true (r.Simplex.status = Simplex.Unbounded)
+
+let test_simplex_no_rows () =
+  let m = Model.create () in
+  let _x = Model.add_var ~obj:5. m in
+  let r = Simplex.solve m in
+  Alcotest.(check bool) "optimal" true (r.Simplex.status = Simplex.Optimal);
+  check_close "trivial optimum" 0. r.Simplex.objective
+
+let test_simplex_redundant_equalities () =
+  (* x + y = 2 appears twice: the second row is redundant, the artificial
+     stays basic at zero and must not break phase 2. *)
+  let m = Model.create () in
+  let x = Model.add_var ~obj:1. m in
+  let y = Model.add_var ~obj:2. m in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Eq 2.);
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Eq 2.);
+  let r = Simplex.solve_or_fail m in
+  check_close "objective" 2. r.Simplex.objective;
+  check_close "x" 2. r.Simplex.values.(x)
+
+let test_simplex_degenerate () =
+  (* Klee-Minty-flavoured degeneracy: multiple constraints tight at the
+     optimum. Bland fallback must keep it terminating. *)
+  let m = Model.create () in
+  let x = Model.add_var ~obj:(-1.) m in
+  let y = Model.add_var ~obj:(-1.) m in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Le 1.);
+  ignore (Model.add_constraint m [ (y, 1.) ] Model.Le 1.);
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Le 2.);
+  ignore (Model.add_constraint m [ (x, 1.); (y, 2.) ] Model.Le 3.);
+  let r = Simplex.solve_or_fail m in
+  check_close "objective" (-2.) r.Simplex.objective
+
+let test_simplex_vertex_property () =
+  (* basic solutions have at most [rows] non-zero structural values *)
+  let m = Model.create () in
+  let vars = Array.init 20 (fun i -> Model.add_var ~obj:(1. +. float_of_int (i mod 3)) m) in
+  ignore
+    (Model.add_constraint m (Array.to_list (Array.map (fun v -> (v, 1.)) vars)) Model.Ge 5.);
+  ignore
+    (Model.add_constraint m
+       (Array.to_list (Array.mapi (fun i v -> (v, float_of_int ((i mod 4) + 1))) vars))
+       Model.Ge 7.);
+  let r = Simplex.solve_or_fail m in
+  let nonzero = Array.fold_left (fun acc v -> if v > 1e-9 then acc + 1 else acc) 0 r.Simplex.values in
+  Alcotest.(check bool) "vertex support <= rows" true (nonzero <= Model.num_rows m)
+
+let test_simplex_duals_weak_duality () =
+  (* min 3x + 2y s.t. x + y >= 2, x >= 0.5: duals must satisfy y'b = obj at
+     optimum (strong duality for LP). *)
+  let m = Model.create () in
+  let x = Model.add_var ~obj:3. m in
+  let y = Model.add_var ~obj:2. m in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Ge 2.);
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Ge 0.5);
+  let r = Simplex.solve_or_fail m in
+  let dual_obj = (r.Simplex.duals.(0) *. 2.) +. (r.Simplex.duals.(1) *. 0.5) in
+  check_close "strong duality" r.Simplex.objective dual_obj
+
+let test_simplex_solution_feasible () =
+  let m = Model.create () in
+  let x = Model.add_var ~obj:1. m in
+  let y = Model.add_var ~obj:4. m in
+  let z = Model.add_var ~obj:2. m in
+  ignore (Model.add_constraint m [ (x, 2.); (y, 1.); (z, 1.) ] Model.Ge 6.);
+  ignore (Model.add_constraint m [ (x, 1.); (z, 3.) ] Model.Ge 4.);
+  ignore (Model.add_constraint m [ (y, 1.); (z, 1.) ] Model.Le 5.);
+  let r = Simplex.solve_or_fail m in
+  Alcotest.(check bool) "solution feasible" true (Model.is_feasible m r.Simplex.values)
+
+(* Random mixed-sense LPs for the reference-solver cross-check: coefficients
+   in 0..3, senses random, all objective coefficients >= 0 so the problem is
+   never unbounded (outcomes are Optimal or Infeasible only). *)
+let gen_random_lp_for_reference =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* n = int_range 1 6 in
+    let* rows = int_range 1 6 in
+    return (seed, n, rows))
+
+let build_mixed_lp (seed, n, rows) =
+  let g = Flowsched_util.Prng.create (seed + 17) in
+  let m = Model.create () in
+  let vars =
+    Array.init n (fun _ -> Model.add_var ~obj:(float_of_int (Flowsched_util.Prng.int g 4)) m)
+  in
+  for _ = 1 to rows do
+    let terms = ref [] in
+    Array.iter
+      (fun v ->
+        let c = Flowsched_util.Prng.int g 4 in
+        if c > 0 then terms := (v, float_of_int c) :: !terms)
+      vars;
+    if !terms <> [] then begin
+      let sense =
+        match Flowsched_util.Prng.int g 3 with 0 -> Model.Le | 1 -> Model.Ge | _ -> Model.Eq
+      in
+      ignore (Model.add_constraint m !terms sense (float_of_int (Flowsched_util.Prng.int g 9)))
+    end
+  done;
+  m
+
+(* --- independent reference solver ---
+
+   A naive dense full-tableau Big-M simplex with Bland's rule.  Slow and
+   numerically crude, but completely independent of the production solver's
+   code paths (no revised form, no phase split, no incremental duals), so
+   agreement on random instances is a meaningful cross-check. *)
+
+let reference_solve model =
+  let n = Model.num_vars model in
+  let rows = Model.num_rows model in
+  let big_m = 1e7 in
+  (* columns: structural n, then one slack/surplus per inequality, then one
+     artificial per Ge/Eq row; rhs normalized to >= 0 *)
+  let n_slack =
+    ref 0
+  in
+  let n_art = ref 0 in
+  for r = 0 to rows - 1 do
+    let rhs = Model.row_rhs model r in
+    let sense = Model.row_sense model r in
+    let sense = if rhs < 0. then (match sense with Model.Le -> Model.Ge | Model.Ge -> Model.Le | Model.Eq -> Model.Eq) else sense in
+    (match sense with Model.Le | Model.Ge -> incr n_slack | Model.Eq -> ());
+    (match sense with Model.Ge | Model.Eq -> incr n_art | Model.Le -> ())
+  done;
+  let ncols = n + !n_slack + !n_art in
+  let tab = Array.make_matrix rows (ncols + 1) 0. in
+  let cost = Array.make ncols 0. in
+  for v = 0 to n - 1 do
+    cost.(v) <- Model.objective_coeff model v
+  done;
+  let basis = Array.make rows (-1) in
+  let next_slack = ref n and next_art = ref (n + !n_slack) in
+  for r = 0 to rows - 1 do
+    let rhs = Model.row_rhs model r in
+    let sign = if rhs < 0. then -1. else 1. in
+    let sense =
+      let s = Model.row_sense model r in
+      if rhs < 0. then (match s with Model.Le -> Model.Ge | Model.Ge -> Model.Le | Model.Eq -> Model.Eq) else s
+    in
+    List.iter (fun (v, c) -> tab.(r).(v) <- sign *. c) (Model.row_terms model r);
+    tab.(r).(ncols) <- sign *. rhs;
+    (match sense with
+    | Model.Le ->
+        tab.(r).(!next_slack) <- 1.;
+        basis.(r) <- !next_slack;
+        incr next_slack
+    | Model.Ge ->
+        tab.(r).(!next_slack) <- -1.;
+        incr next_slack;
+        tab.(r).(!next_art) <- 1.;
+        cost.(!next_art) <- big_m;
+        basis.(r) <- !next_art;
+        incr next_art
+    | Model.Eq ->
+        tab.(r).(!next_art) <- 1.;
+        cost.(!next_art) <- big_m;
+        basis.(r) <- !next_art;
+        incr next_art)
+  done;
+  (* Bland's rule pivoting on reduced costs z_j - c_j *)
+  let max_pivots = 200 * (rows + ncols) + 1000 in
+  let rec iterate k =
+    if k > max_pivots then `GiveUp
+    else begin
+      let reduced j =
+        let zj = ref 0. in
+        for r = 0 to rows - 1 do
+          zj := !zj +. (cost.(basis.(r)) *. tab.(r).(j))
+        done;
+        cost.(j) -. !zj
+      in
+      let enter = ref (-1) in
+      (try
+         for j = 0 to ncols - 1 do
+           if reduced j < -1e-7 then begin
+             enter := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !enter < 0 then `Done
+      else begin
+        let j = !enter in
+        let leave = ref (-1) and best = ref infinity in
+        for r = 0 to rows - 1 do
+          if tab.(r).(j) > 1e-9 then begin
+            let ratio = tab.(r).(ncols) /. tab.(r).(j) in
+            if
+              ratio < !best -. 1e-12
+              || (abs_float (ratio -. !best) <= 1e-12
+                 && (!leave < 0 || basis.(r) < basis.(!leave)))
+            then begin
+              best := ratio;
+              leave := r
+            end
+          end
+        done;
+        if !leave < 0 then `Unbounded
+        else begin
+          let r = !leave in
+          let piv = tab.(r).(j) in
+          for c = 0 to ncols do
+            tab.(r).(c) <- tab.(r).(c) /. piv
+          done;
+          for r' = 0 to rows - 1 do
+            if r' <> r && tab.(r').(j) <> 0. then begin
+              let f = tab.(r').(j) in
+              for c = 0 to ncols do
+                tab.(r').(c) <- tab.(r').(c) -. (f *. tab.(r).(c))
+              done
+            end
+          done;
+          basis.(r) <- j;
+          iterate (k + 1)
+        end
+      end
+    end
+  in
+  match iterate 0 with
+  | `GiveUp -> `GiveUp
+  | `Unbounded -> `Unbounded
+  | `Done ->
+      (* artificial left basic at positive value -> infeasible *)
+      let infeasible = ref false in
+      let objective = ref 0. in
+      for r = 0 to rows - 1 do
+        if basis.(r) >= n + !n_slack && tab.(r).(ncols) > 1e-5 then infeasible := true;
+        if basis.(r) < n then objective := !objective +. (cost.(basis.(r)) *. tab.(r).(ncols))
+      done;
+      if !infeasible then `Infeasible else `Optimal !objective
+
+let prop_matches_reference_solver =
+  QCheck2.Test.make ~name:"revised simplex = naive Big-M tableau oracle" ~count:200
+    gen_random_lp_for_reference (fun params ->
+      let model = build_mixed_lp params in
+      let ours = Simplex.solve model in
+      match (reference_solve model, ours.Simplex.status) with
+      | `Optimal obj, Simplex.Optimal -> abs_float (obj -. ours.Simplex.objective) < 1e-4
+      | `Infeasible, Simplex.Infeasible -> true
+      | `Unbounded, Simplex.Unbounded -> true
+      | `GiveUp, _ -> true (* oracle timed out; no verdict *)
+      | _ -> false)
+
+(* --- classic stress instances --- *)
+
+let test_klee_minty () =
+  (* Klee-Minty cube, n = 6: min -sum 2^(n-j) x_j subject to
+     2*sum_{j<i} 2^(i-j) x_j + x_i <= 5^i; optimum -5^n.  Exponential for a
+     naive Dantzig walk on the worst basis ordering, but must still solve
+     correctly and within the iteration budget. *)
+  let n = 6 in
+  let m = Model.create () in
+  let xs =
+    Array.init n (fun j ->
+        Model.add_var ~name:(Printf.sprintf "x%d" j)
+          ~obj:(-.(2. ** float_of_int (n - 1 - j)))
+          m)
+  in
+  for i = 0 to n - 1 do
+    let terms = ref [ (xs.(i), 1.) ] in
+    for j = 0 to i - 1 do
+      terms := (xs.(j), 2. *. (2. ** float_of_int (i - j))) :: !terms
+    done;
+    ignore (Model.add_constraint m !terms Model.Le (5. ** float_of_int (i + 1)))
+  done;
+  let r = Simplex.solve_or_fail m in
+  check_close ~tol:1e-3 "Klee-Minty optimum" (-.(5. ** float_of_int n)) r.Simplex.objective
+
+let test_beale_cycling () =
+  (* Beale's classic cycling example; Bland's fallback must terminate it
+     at the optimum -0.05. *)
+  let m = Model.create () in
+  let x4 = Model.add_var ~name:"x4" ~obj:(-0.75) m in
+  let x5 = Model.add_var ~name:"x5" ~obj:150. m in
+  let x6 = Model.add_var ~name:"x6" ~obj:(-0.02) m in
+  let x7 = Model.add_var ~name:"x7" ~obj:6. m in
+  ignore (Model.add_constraint m [ (x4, 0.25); (x5, -60.); (x6, -0.04); (x7, 9.) ] Model.Le 0.);
+  ignore (Model.add_constraint m [ (x4, 0.5); (x5, -90.); (x6, -0.02); (x7, 3.) ] Model.Le 0.);
+  ignore (Model.add_constraint m [ (x6, 1.) ] Model.Le 1.);
+  let r = Simplex.solve_or_fail m in
+  check_close ~tol:1e-9 "Beale optimum" (-0.05) r.Simplex.objective
+
+let test_iteration_limit_raises () =
+  let m = Model.create () in
+  let vars = Array.init 12 (fun i -> Model.add_var ~obj:(-1. -. float_of_int i) m) in
+  Array.iter (fun v -> ignore (Model.add_constraint m [ (v, 1.) ] Model.Le 1.)) vars;
+  ignore
+    (Model.add_constraint m (Array.to_list (Array.map (fun v -> (v, 1.)) vars)) Model.Le 6.);
+  (try
+     ignore (Simplex.solve ~max_iters:1 m);
+     Alcotest.fail "expected Iteration_limit"
+   with Simplex.Iteration_limit _ -> ());
+  (* and with a sane budget the same model solves *)
+  let r = Simplex.solve_or_fail m in
+  Alcotest.(check bool) "solves with budget" true (r.Simplex.objective < 0.)
+
+let test_lp_format_debug_dump () =
+  (* Lp_io exists primarily for debugging; make sure it round-trips through
+     a solve without touching solver state. *)
+  let m = Model.create () in
+  let x = Model.add_var ~name:"x" ~obj:1. m in
+  ignore (Model.add_constraint m [ (x, 2.) ] Model.Ge 4.);
+  let before = Lp_io.to_lp_format m in
+  let r = Simplex.solve_or_fail m in
+  let after = Lp_io.to_lp_format m in
+  Alcotest.(check string) "model unchanged by solving" before after;
+  check_close "objective" 2. r.Simplex.objective
+
+(* --- randomized properties --- *)
+
+(* Build a random feasible LP: pick x0 >= 0, random sparse A >= 0, set
+   b_i = (A x0)_i with Le sense, plus demand rows keeping it bounded. *)
+let gen_random_lp =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* n = int_range 1 12 in
+    let* rows = int_range 1 8 in
+    return (seed, n, rows))
+
+let build_random_lp (seed, n, rows) =
+  let g = Flowsched_util.Prng.create seed in
+  let m = Model.create () in
+  let vars = Array.init n (fun _ -> Model.add_var ~obj:(float_of_int (Flowsched_util.Prng.int g 5)) m) in
+  let x0 = Array.init n (fun _ -> float_of_int (Flowsched_util.Prng.int g 4)) in
+  for _ = 1 to rows do
+    let terms = ref [] in
+    let activity = ref 0. in
+    Array.iteri
+      (fun i v ->
+        if Flowsched_util.Prng.int g 3 > 0 then begin
+          let c = float_of_int (1 + Flowsched_util.Prng.int g 3) in
+          terms := (v, c) :: !terms;
+          activity := !activity +. (c *. x0.(i))
+        end)
+      vars;
+    if !terms <> [] then begin
+      let slackness = float_of_int (Flowsched_util.Prng.int g 3) in
+      ignore (Model.add_constraint m !terms Model.Le (!activity +. slackness))
+    end
+  done;
+  (m, x0)
+
+let prop_random_feasible_lp_optimal =
+  QCheck2.Test.make ~name:"random feasible LP solves to feasible vertex" ~count:300
+    gen_random_lp (fun params ->
+      let m, x0 = build_random_lp params in
+      let r = Simplex.solve m in
+      match r.Simplex.status with
+      | Simplex.Optimal ->
+          let c_x0 =
+            Array.to_list x0
+            |> List.mapi (fun i v -> Model.objective_coeff m i *. v)
+            |> List.fold_left ( +. ) 0.
+          in
+          Model.is_feasible ~tol:1e-5 m r.Simplex.values
+          && r.Simplex.objective <= c_x0 +. 1e-6
+      | _ -> false)
+
+let prop_random_lp_with_demands =
+  (* Mixed Ge/Le rows exercising phase 1: x_i >= d_i plus a generous shared
+     capacity; optimum is the sum of demand costs. *)
+  QCheck2.Test.make ~name:"phase-1 LPs: per-var demand + shared capacity" ~count:200
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 10))
+    (fun (seed, n) ->
+      let g = Flowsched_util.Prng.create seed in
+      let m = Model.create () in
+      let demands = Array.init n (fun _ -> float_of_int (Flowsched_util.Prng.int g 3)) in
+      let vars = Array.init n (fun _ -> Model.add_var ~obj:1. m) in
+      Array.iteri (fun i v -> ignore (Model.add_constraint m [ (v, 1.) ] Model.Ge demands.(i))) vars;
+      let total = Array.fold_left ( +. ) 0. demands in
+      ignore
+        (Model.add_constraint m
+           (Array.to_list (Array.map (fun v -> (v, 1.)) vars))
+           Model.Le (total +. 5.));
+      let r = Simplex.solve m in
+      r.Simplex.status = Simplex.Optimal && abs_float (r.Simplex.objective -. total) < 1e-6)
+
+let prop_scaling_invariance =
+  (* Scaling a row must not change the optimum. *)
+  QCheck2.Test.make ~name:"row scaling invariance" ~count:100
+    QCheck2.Gen.(pair (int_bound 100_000) (float_range 0.5 8.))
+    (fun (seed, scale) ->
+      let g = Flowsched_util.Prng.create seed in
+      let build scale =
+        let m = Model.create () in
+        let x = Model.add_var ~obj:(1. +. float_of_int (Flowsched_util.Prng.int (Flowsched_util.Prng.copy g) 3)) m in
+        let y = Model.add_var ~obj:2. m in
+        ignore (Model.add_constraint m [ (x, scale); (y, scale) ] Model.Ge (2. *. scale));
+        Simplex.solve m
+      in
+      let r1 = build 1. and r2 = build scale in
+      r1.Simplex.status = Simplex.Optimal
+      && r2.Simplex.status = Simplex.Optimal
+      && abs_float (r1.Simplex.objective -. r2.Simplex.objective) < 1e-6)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_random_feasible_lp_optimal;
+        prop_random_lp_with_demands;
+        prop_scaling_invariance;
+        prop_matches_reference_solver;
+      ]
+  in
+  Alcotest.run "flowsched_lp"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "basic construction" `Quick test_model_basic;
+          Alcotest.test_case "merges duplicate terms" `Quick test_model_merges_duplicate_terms;
+          Alcotest.test_case "rejects unknown vars" `Quick test_model_rejects_unknown_var;
+          Alcotest.test_case "is_feasible" `Quick test_model_is_feasible;
+        ] );
+      ( "simplex",
+        [
+          Alcotest.test_case "simple Le" `Quick test_simplex_simple_le;
+          Alcotest.test_case "Ge rows (phase 1)" `Quick test_simplex_ge_rows;
+          Alcotest.test_case "Eq rows" `Quick test_simplex_eq_rows;
+          Alcotest.test_case "negative rhs normalization" `Quick test_simplex_negative_rhs;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "no rows" `Quick test_simplex_no_rows;
+          Alcotest.test_case "redundant equalities" `Quick test_simplex_redundant_equalities;
+          Alcotest.test_case "degenerate vertices" `Quick test_simplex_degenerate;
+          Alcotest.test_case "vertex support bound" `Quick test_simplex_vertex_property;
+          Alcotest.test_case "strong duality" `Quick test_simplex_duals_weak_duality;
+          Alcotest.test_case "solution feasibility" `Quick test_simplex_solution_feasible;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "Klee-Minty cube" `Quick test_klee_minty;
+          Alcotest.test_case "Beale cycling" `Quick test_beale_cycling;
+          Alcotest.test_case "iteration limit" `Quick test_iteration_limit_raises;
+          Alcotest.test_case "lp format dump" `Quick test_lp_format_debug_dump;
+        ] );
+      ("properties", props);
+    ]

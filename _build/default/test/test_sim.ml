@@ -1,0 +1,235 @@
+(* Tests for the simulator layer: workload generation, adaptive engine
+   plumbing, the experiment grid, and report rendering. *)
+
+open Flowsched_switch
+open Flowsched_online
+open Flowsched_sim
+
+(* --- workload --- *)
+
+let test_poisson_deterministic () =
+  let a = Workload.poisson ~m:5 ~rate:2.5 ~rounds:10 ~seed:42 in
+  let b = Workload.poisson ~m:5 ~rate:2.5 ~rounds:10 ~seed:42 in
+  Alcotest.(check string) "same instance" (Instance.to_string a) (Instance.to_string b);
+  let c = Workload.poisson ~m:5 ~rate:2.5 ~rounds:10 ~seed:43 in
+  Alcotest.(check bool) "different seed differs" true
+    (Instance.to_string a <> Instance.to_string c)
+
+let test_poisson_shape () =
+  let inst = Workload.poisson ~m:5 ~rate:3.0 ~rounds:12 ~seed:7 in
+  Array.iter
+    (fun (f : Flow.t) ->
+      Alcotest.(check bool) "release in range" true (f.Flow.release >= 0 && f.Flow.release < 12);
+      Alcotest.(check int) "unit demand" 1 f.Flow.demand;
+      Alcotest.(check bool) "ports in range" true
+        (f.Flow.src >= 0 && f.Flow.src < 5 && f.Flow.dst >= 0 && f.Flow.dst < 5))
+    inst.Instance.flows
+
+let test_poisson_mean_count () =
+  (* law of large numbers over many trials *)
+  let total = ref 0 in
+  for seed = 0 to 199 do
+    total := !total + Instance.n (Workload.poisson ~m:4 ~rate:2.0 ~rounds:10 ~seed)
+  done;
+  let mean = float_of_int !total /. 200. in
+  Alcotest.(check bool) "mean near rate*rounds" true (abs_float (mean -. 20.) < 1.5)
+
+let test_poisson_with_demands () =
+  let inst = Workload.poisson_with_demands ~m:4 ~rate:2.0 ~rounds:8 ~max_demand:3 ~seed:5 in
+  Alcotest.(check (array int)) "caps raised" (Array.make 4 3) inst.Instance.cap_in;
+  Array.iter
+    (fun (f : Flow.t) ->
+      Alcotest.(check bool) "demand in range" true (f.Flow.demand >= 1 && f.Flow.demand <= 3))
+    inst.Instance.flows
+
+let test_uniform_total () =
+  let inst = Workload.uniform_total ~m:3 ~n:17 ~max_release:4 ~seed:2 in
+  Alcotest.(check int) "n exact" 17 (Instance.n inst);
+  Alcotest.(check bool) "releases bounded" true (Instance.last_release inst <= 4)
+
+(* --- adaptive engine plumbing --- *)
+
+let test_adaptive_ids_sequential () =
+  let arrivals ~round ~pending:_ = if round < 3 then [ (0, 0, 1) ] else [] in
+  let r =
+    Engine.run_adaptive ~m:1 ~m':1 ~arrivals ~stop_arrivals_after:3 Heuristics.fifo
+  in
+  Alcotest.(check int) "three flows" 3 (Array.length r.Engine.flows);
+  Array.iteri
+    (fun i (f : Flow.t) -> Alcotest.(check int) "id = index" i f.Flow.id)
+    r.Engine.flows
+
+let test_adaptive_stops_arrivals () =
+  let calls = ref 0 in
+  let arrivals ~round:_ ~pending:_ =
+    incr calls;
+    [ (0, 0, 1) ]
+  in
+  let r =
+    Engine.run_adaptive ~m:1 ~m':1 ~arrivals ~stop_arrivals_after:4 Heuristics.fifo
+  in
+  Alcotest.(check int) "callback consulted 4 times" 4 !calls;
+  Alcotest.(check int) "four flows" 4 (Array.length r.Engine.flows)
+
+let test_adaptive_sees_pending () =
+  (* the adversary observes the one flow FIFO could not schedule *)
+  let observed = ref (-1) in
+  let arrivals ~round ~pending =
+    if round = 0 then [ (0, 0, 1); (0, 0, 1) ]
+    else begin
+      if round = 1 then observed := List.length pending;
+      []
+    end
+  in
+  ignore (Engine.run_adaptive ~m:1 ~m':1 ~arrivals ~stop_arrivals_after:2 Heuristics.fifo);
+  Alcotest.(check int) "one pending at round 1" 1 !observed
+
+(* --- experiment grid --- *)
+
+let test_run_cell_without_lp () =
+  let cell =
+    Experiment.run_cell ~policies:Heuristics.all_paper_heuristics
+      {
+        Experiment.m = 4;
+        rate = 2.0;
+        rounds = 5;
+        tries = 3;
+        seed = 11;
+        with_lp = false;
+      }
+  in
+  Alcotest.(check int) "three policies (avg)" 3 (List.length cell.Experiment.avg_response);
+  Alcotest.(check int) "three policies (max)" 3 (List.length cell.Experiment.max_response);
+  Alcotest.(check bool) "lp skipped" true (Float.is_nan cell.Experiment.lp_avg_bound);
+  List.iter
+    (fun (_, v) -> Alcotest.(check bool) "avg >= 1" true (v >= 1.))
+    cell.Experiment.avg_response
+
+let test_run_cell_with_lp () =
+  let cell =
+    Experiment.run_cell ~policies:Heuristics.all_paper_heuristics
+      {
+        Experiment.m = 3;
+        rate = 1.5;
+        rounds = 4;
+        tries = 2;
+        seed = 5;
+        with_lp = true;
+      }
+  in
+  Alcotest.(check bool) "lp bound computed" true
+    (not (Float.is_nan cell.Experiment.lp_avg_bound));
+  Alcotest.(check bool) "lp max bound computed" true
+    (not (Float.is_nan cell.Experiment.lp_max_bound));
+  (* Lemma 3.1/relaxation: bounds sit below every heuristic *)
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " above avg LP") true
+        (v >= cell.Experiment.lp_avg_bound -. 1e-6))
+    cell.Experiment.avg_response;
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " above max LP") true
+        (v >= cell.Experiment.lp_max_bound -. 1e-6))
+    cell.Experiment.max_response
+
+let test_fig6_grid_layout () =
+  let grid =
+    Experiment.fig6_grid ~m:6 ~tries:2 ~lp_rounds_limit:8 ~congestion:[ 0.5; 1.0 ]
+      ~rounds:[ 6; 8; 12 ] ()
+  in
+  Alcotest.(check int) "cells" 6 (List.length grid);
+  List.iter
+    (fun (c : Experiment.cell_config) ->
+      Alcotest.(check bool) "lp flag respects limit" true
+        (c.Experiment.with_lp = (c.Experiment.rounds <= 8));
+      Alcotest.(check bool) "rate scales with m" true
+        (c.Experiment.rate = 3.0 || c.Experiment.rate = 6.0))
+    grid
+
+(* --- report --- *)
+
+let contains s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+let sample_results () =
+  Experiment.run_grid ~policies:Heuristics.all_paper_heuristics
+    [
+      { Experiment.m = 3; rate = 1.0; rounds = 4; tries = 2; seed = 3; with_lp = true };
+      { Experiment.m = 3; rate = 3.0; rounds = 4; tries = 2; seed = 4; with_lp = false };
+    ]
+
+let test_report_tables () =
+  let results = sample_results () in
+  let f6 = Report.fig6_table results and f7 = Report.fig7_table results in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " in fig6") true (contains f6 name);
+      Alcotest.(check bool) (name ^ " in fig7") true (contains f7 name))
+    [ "MaxCard"; "MinRTime"; "MaxWeight"; "LP bound" ];
+  Alcotest.(check bool) "lp-less cell rendered with dashes" true (contains f6 "-")
+
+let test_report_csv () =
+  let results = sample_results () in
+  let csv = Report.csv ~objective:`Avg results in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (* header + 2 cells x 3 policies *)
+  Alcotest.(check int) "line count" 7 (List.length lines);
+  Alcotest.(check bool) "header" true
+    (contains (List.hd lines) "policy,value,lp_bound")
+
+(* --- properties --- *)
+
+let prop_workload_poisson_counts =
+  QCheck2.Test.make ~name:"poisson instance validates" ~count:50
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 1 8) (int_range 1 15))
+    (fun (seed, m, rounds) ->
+      let inst = Workload.poisson ~m ~rate:1.5 ~rounds ~seed in
+      Instance.last_release inst <= rounds - 1 || Instance.n inst = 0)
+
+let prop_engine_matches_offline_fifo =
+  (* the online FIFO engine and the offline FIFO baseline must agree *)
+  QCheck2.Test.make ~name:"online FIFO = offline FIFO baseline" ~count:40
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 25))
+    (fun (seed, n) ->
+      let inst = Workload.uniform_total ~m:4 ~n ~max_release:5 ~seed in
+      let online = Engine.run_instance Heuristics.fifo inst in
+      let offline = Flowsched_core.Baselines.fifo inst in
+      Schedule.assignment online.Engine.schedule = Schedule.assignment offline)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_workload_poisson_counts; prop_engine_matches_offline_fifo ]
+  in
+  Alcotest.run "flowsched_sim"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "deterministic" `Quick test_poisson_deterministic;
+          Alcotest.test_case "shape" `Quick test_poisson_shape;
+          Alcotest.test_case "mean count" `Slow test_poisson_mean_count;
+          Alcotest.test_case "with demands" `Quick test_poisson_with_demands;
+          Alcotest.test_case "uniform total" `Quick test_uniform_total;
+        ] );
+      ( "adaptive-engine",
+        [
+          Alcotest.test_case "sequential ids" `Quick test_adaptive_ids_sequential;
+          Alcotest.test_case "arrival cutoff" `Quick test_adaptive_stops_arrivals;
+          Alcotest.test_case "adversary sees queue" `Quick test_adaptive_sees_pending;
+        ] );
+      ( "experiment",
+        [
+          Alcotest.test_case "cell without lp" `Quick test_run_cell_without_lp;
+          Alcotest.test_case "cell with lp" `Quick test_run_cell_with_lp;
+          Alcotest.test_case "fig6 grid layout" `Quick test_fig6_grid_layout;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "tables" `Quick test_report_tables;
+          Alcotest.test_case "csv" `Quick test_report_csv;
+        ] );
+      ("properties", props);
+    ]
