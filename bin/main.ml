@@ -10,24 +10,10 @@ open Flowsched_core
 
 (* ----- shared helpers ----- *)
 
-let read_all ic =
-  let buf = Buffer.create 4096 in
-  (try
-     while true do
-       Buffer.add_channel buf ic 1
-     done
-   with End_of_file -> ());
-  Buffer.contents buf
-
 let load_instance path =
   let data =
-    if path = "-" then read_all stdin
-    else begin
-      let ic = open_in path in
-      let data = read_all ic in
-      close_in ic;
-      data
-    end
+    if path = "-" then In_channel.input_all stdin
+    else In_channel.with_open_bin path In_channel.input_all
   in
   match Instance.of_string data with
   | Ok inst -> inst
@@ -259,6 +245,121 @@ let figures_cmd =
     (Cmd.info "figures" ~doc:"Reproduce the paper's Figure 6/7 tables (scaled).")
     Term.(const figures $ m $ tries)
 
+(* ----- sweep ----- *)
+
+let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs out =
+  let policies = List.map (fun name -> policy_of_name name 1) policy_names in
+  List.iter
+    (fun kind ->
+      if not (List.mem kind Flowsched_sim.Experiment.sweep_workloads) then begin
+        Printf.eprintf "error: unknown workload %S (expected %s)\n" kind
+          (String.concat "|" Flowsched_sim.Experiment.sweep_workloads);
+        exit 1
+      end)
+    kinds;
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun rate ->
+            List.concat_map
+              (fun rounds ->
+                List.map
+                  (fun seed ->
+                    {
+                      Flowsched_sim.Experiment.workload = kind;
+                      ports = m;
+                      arrival_rate = rate;
+                      horizon = rounds;
+                      max_demand;
+                      sweep_seed = seed;
+                      lp = with_lp;
+                    })
+                  seeds)
+              rounds_list)
+          rates)
+      kinds
+  in
+  if cells = [] then begin
+    Printf.eprintf "error: empty sweep grid (check --rates/--rounds/--seeds)\n";
+    exit 1
+  end;
+  let jobs = match jobs with Some j -> max 1 j | None -> Flowsched_exec.Pool.default_jobs () in
+  Printf.eprintf "sweep: %d cells x %d policies, %d workers\n%!" (List.length cells)
+    (List.length policies) jobs;
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Flowsched_sim.Experiment.run_sweep ~policies
+      ~progress:(fun msg -> Printf.eprintf "  %s\n%!" msg)
+      ~jobs cells
+  in
+  let artifact = Flowsched_sim.Report.sweep_json ~jobs results in
+  let data = Flowsched_util.Json.to_string artifact ^ "\n" in
+  (match out with
+  | "-" -> print_string data
+  | path ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data);
+      Printf.eprintf "wrote %s (%d cells, %.1fs)\n%!" path (List.length cells)
+        (Unix.gettimeofday () -. t0))
+
+let sweep_cmd =
+  let list_of kind = Arg.list kind in
+  let kinds =
+    Arg.(
+      value
+      & opt (list_of string) [ "poisson" ]
+      & info [ "kinds" ] ~docv:"KINDS"
+          ~doc:"Comma-separated workload kinds (poisson|poisson-demands|uniform|skewed|hotspot).")
+  in
+  let m = Arg.(value & opt int 6 & info [ "m" ] ~doc:"Ports per side.") in
+  let rates =
+    Arg.(
+      value & opt (list_of float) [ 2.0; 4.0 ]
+      & info [ "rates" ] ~docv:"RATES" ~doc:"Comma-separated arrival rates (the paper's M).")
+  in
+  let rounds_list =
+    Arg.(
+      value & opt (list_of int) [ 6; 8 ]
+      & info [ "rounds" ] ~docv:"ROUNDS" ~doc:"Comma-separated generation lengths (T).")
+  in
+  let max_demand =
+    Arg.(value & opt int 3 & info [ "max-demand" ] ~doc:"Demand bound (poisson-demands).")
+  in
+  let seeds =
+    Arg.(
+      value & opt (list_of int) [ 1 ]
+      & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Comma-separated PRNG seeds, one cell each.")
+  in
+  let policy_names =
+    Arg.(
+      value
+      & opt (list_of string) [ "maxcard"; "minrtime"; "maxweight" ]
+      & info [ "policies" ] ~docv:"POLICIES"
+          ~doc:"Comma-separated policies (maxcard|minrtime|maxweight|fifo|random).")
+  in
+  let with_lp =
+    Arg.(value & flag & info [ "lp" ] ~doc:"Also compute the LP lower bounds per cell (slow).")
+  in
+  let jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Worker processes for the cell grid (default: detected core count).")
+  in
+  let out =
+    Arg.(
+      value & opt string "sweep.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output JSON artifact path ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run a (workload x policy x seed) grid through the parallel experiment pool and \
+          write a machine-readable JSON artifact.")
+    Term.(
+      const sweep $ kinds $ m $ rates $ rounds_list $ max_demand $ seeds $ policy_names
+      $ with_lp $ jobs $ out)
+
 (* ----- rtt (Theorem 2 reduction demo) ----- *)
 
 let rtt teachers classes seed =
@@ -351,6 +452,7 @@ let () =
         simulate_cmd;
         exact_cmd;
         figures_cmd;
+        sweep_cmd;
         rtt_cmd;
         open_problem_cmd;
       ]

@@ -1,0 +1,279 @@
+type 'b outcome =
+  | Done of 'b
+  | Failed of { attempts : int; reason : string }
+
+type event =
+  | Job_started of { job : int; attempt : int }
+  | Job_done of { job : int; attempt : int; elapsed : float }
+  | Job_retried of { job : int; attempt : int; reason : string }
+  | Job_failed of { job : int; attempts : int; reason : string }
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol: 4-byte big-endian length + Marshal payload.          *)
+(* ------------------------------------------------------------------ *)
+
+exception Worker_eof
+
+let rec restart f x = try f x with Unix.Unix_error (Unix.EINTR, _, _) -> restart f x
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let off = ref 0 in
+  while !off < len do
+    let k = restart (fun () -> Unix.write fd bytes !off (len - !off)) () in
+    off := !off + k
+  done
+
+let read_exact fd bytes off len =
+  let got = ref 0 in
+  while !got < len do
+    let k = restart (fun () -> Unix.read fd bytes (off + !got) (len - !got)) () in
+    if k = 0 then raise Worker_eof;
+    got := !got + k
+  done
+
+let write_frame fd v =
+  let payload = Marshal.to_bytes v [ Marshal.Closures ] in
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (Bytes.length payload));
+  write_all fd header;
+  write_all fd payload
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  read_exact fd header 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  if len < 0 then raise Worker_eof;
+  let payload = Bytes.create len in
+  read_exact fd payload 0 len;
+  Marshal.from_bytes payload 0
+
+(* Parent -> worker messages. *)
+type 'a request = Job of { job : int; seed : int; payload : 'a } | Quit
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type worker = {
+  pid : int;
+  to_w : Unix.file_descr;
+  from_w : Unix.file_descr;
+  mutable current : (int * int * float) option;  (* job, attempt, start time *)
+}
+
+let seed_for ~base_seed job = base_seed + (1000003 * (job + 1))
+
+(* [others] lists the live workers whose inherited pipe ends the child must
+   close, so that a worker's death is visible to the parent as EOF instead
+   of being masked by write-end copies held by sibling workers. *)
+let spawn ~f ~others =
+  let job_r, job_w = Unix.pipe ~cloexec:false () in
+  let res_r, res_w = Unix.pipe ~cloexec:false () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close job_w;
+      Unix.close res_r;
+      List.iter
+        (fun w ->
+          (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+          try Unix.close w.from_w with Unix.Unix_error _ -> ())
+        others;
+      let rec serve () =
+        match (try read_frame job_r with Worker_eof -> Quit) with
+        | Quit -> ()
+        | Job { job; seed; payload } ->
+            Random.init seed;
+            let result =
+              try Ok (f payload)
+              with e -> Error (Printexc.to_string e)
+            in
+            write_frame res_w (job, result);
+            serve ()
+      in
+      (try serve () with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Unix.close job_r;
+      Unix.close res_w;
+      { pid; to_w = job_w; from_w = res_r; current = None }
+
+let reap w =
+  (try Unix.close w.to_w with Unix.Unix_error _ -> ());
+  (try Unix.close w.from_w with Unix.Unix_error _ -> ());
+  try ignore (restart (fun () -> Unix.waitpid [] w.pid) ())
+  with Unix.Unix_error _ -> ()
+
+let kill_and_reap w =
+  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  reap w
+
+(* ------------------------------------------------------------------ *)
+(* Sequential fallback (jobs <= 1): same retry semantics, no forking.   *)
+(* ------------------------------------------------------------------ *)
+
+let run_inline ~retries ~base_seed ~progress ~f inputs =
+  Array.mapi
+    (fun job input ->
+      let rec attempt k =
+        progress (Job_started { job; attempt = k });
+        let t0 = Unix.gettimeofday () in
+        Random.init (seed_for ~base_seed job);
+        match f input with
+        | v ->
+            progress (Job_done { job; attempt = k; elapsed = Unix.gettimeofday () -. t0 });
+            Done v
+        | exception e ->
+            let reason = Printexc.to_string e in
+            if k <= retries then begin
+              progress (Job_retried { job; attempt = k; reason });
+              attempt (k + 1)
+            end
+            else begin
+              progress (Job_failed { job; attempts = k; reason });
+              Failed { attempts = k; reason }
+            end
+      in
+      attempt 1)
+    inputs
+
+(* ------------------------------------------------------------------ *)
+(* Parallel dispatch loop                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
+  let n = Array.length inputs in
+  let results = Array.make n None in
+  let completed = ref 0 in
+  let pending = Queue.create () in
+  for job = 0 to n - 1 do
+    Queue.add (job, 1) pending
+  done;
+  let workers = ref [] in
+  let settle job attempt reason =
+    if attempt <= retries then begin
+      progress (Job_retried { job; attempt; reason });
+      Queue.add (job, attempt + 1) pending
+    end
+    else begin
+      progress (Job_failed { job; attempts = attempt; reason });
+      results.(job) <- Some (Failed { attempts = attempt; reason });
+      incr completed
+    end
+  in
+  let spawn_worker () = workers := spawn ~f ~others:!workers :: !workers in
+  let retire w =
+    workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
+    kill_and_reap w
+  in
+  (* A dead worker's in-flight job goes back through the retry budget; the
+     pool then refills itself if there is still work for the slot. *)
+  let handle_dead w reason =
+    (match w.current with
+    | Some (job, attempt, _) -> settle job attempt reason
+    | None -> ());
+    retire w;
+    if not (Queue.is_empty pending) then spawn_worker ()
+  in
+  let dispatch w =
+    let job, attempt = Queue.pop pending in
+    w.current <- Some (job, attempt, Unix.gettimeofday ());
+    progress (Job_started { job; attempt });
+    try write_frame w.to_w (Job { job; seed = seed_for ~base_seed job; payload = inputs.(job) })
+    with Worker_eof | Unix.Unix_error _ | Sys_error _ ->
+      handle_dead w "worker crashed (pipe closed before dispatch)"
+  in
+  let previous_sigpipe =
+    (* A worker dying between frames must surface as EPIPE, not kill us. *)
+    try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun w ->
+          (try write_frame w.to_w Quit with Worker_eof | Unix.Unix_error _ | Sys_error _ -> ());
+          if w.current = None then reap w else kill_and_reap w)
+        !workers;
+      workers := [];
+      match previous_sigpipe with
+      | Some behavior -> ignore (Sys.signal Sys.sigpipe behavior)
+      | None -> ())
+    (fun () ->
+      for _ = 1 to min jobs n do
+        spawn_worker ()
+      done;
+      while !completed < n do
+        List.iter (fun w -> if w.current = None && not (Queue.is_empty pending) then dispatch w) !workers;
+        let busy = List.filter (fun w -> w.current <> None) !workers in
+        if busy = [] then begin
+          (* Every incomplete job is pending but no worker survived to take
+             it (e.g. all crashed while the queue drained): refill. *)
+          if Queue.is_empty pending then
+            invalid_arg "Pool.map: internal accounting error (no busy worker, no pending job)";
+          if !workers = [] then spawn_worker ()
+        end
+        else begin
+          let now = Unix.gettimeofday () in
+          let select_timeout =
+            match timeout with
+            | None -> -1.
+            | Some t ->
+                List.fold_left
+                  (fun acc w ->
+                    match w.current with
+                    | Some (_, _, start) -> min acc (max 0. (start +. t -. now))
+                    | None -> acc)
+                  t busy
+          in
+          let readable, _, _ =
+            restart (fun () -> Unix.select (List.map (fun w -> w.from_w) busy) [] [] select_timeout) ()
+          in
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun w -> w.from_w = fd) !workers with
+              | None -> ()
+              | Some w -> (
+                  match read_frame w.from_w with
+                  | job, Ok value ->
+                      let attempt, elapsed =
+                        match w.current with
+                        | Some (_, attempt, start) -> (attempt, Unix.gettimeofday () -. start)
+                        | None -> (1, 0.)
+                      in
+                      results.(job) <- Some (Done value);
+                      incr completed;
+                      w.current <- None;
+                      progress (Job_done { job; attempt; elapsed })
+                  | job, Error reason ->
+                      let attempt =
+                        match w.current with Some (_, attempt, _) -> attempt | None -> 1
+                      in
+                      w.current <- None;
+                      settle job attempt reason
+                  | exception (Worker_eof | Unix.Unix_error _ | End_of_file | Failure _) ->
+                      handle_dead w "worker crashed (connection lost mid-job)"))
+            readable;
+          (match timeout with
+          | None -> ()
+          | Some t ->
+              let now = Unix.gettimeofday () in
+              List.iter
+                (fun w ->
+                  match w.current with
+                  | Some (_, _, start) when now -. start >= t ->
+                      handle_dead w (Printf.sprintf "timed out after %.3gs" t)
+                  | _ -> ())
+                !workers)
+        end
+      done;
+      Array.map (function Some r -> r | None -> assert false) results)
+
+let map ?jobs ?timeout ?(retries = 1) ?(base_seed = 0) ?(progress = fun _ -> ()) ~f inputs =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  if Array.length inputs = 0 then [||]
+  else if jobs = 1 then run_inline ~retries ~base_seed ~progress ~f inputs
+  else run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs

@@ -1,0 +1,73 @@
+(** Fork-based parallel experiment runner.
+
+    A worker pool for embarrassingly parallel grids of experiment cells:
+    jobs are dispatched to [Unix.fork]ed workers over pipes using
+    length-prefixed [Marshal] frames, and results are merged back {e in job
+    order}, so parallel output is deterministic — byte-identical to a
+    sequential [~jobs:1] run whenever the job function itself is
+    deterministic.
+
+    Fault tolerance: a worker that raises, exits, or is killed mid-job does
+    not lose the job — it is retried (in a fresh worker for crashes) up to a
+    bounded retry budget, after which the job is reported as {!Failed}.  A
+    job exceeding its [timeout] has its worker SIGKILLed and is treated the
+    same way.  The pool always [waitpid]s every child it forked, so no run
+    leaves zombies behind.
+
+    Determinism support: before each attempt the worker reseeds the stdlib
+    [Random] state with a value derived only from the job index (and
+    [base_seed]), so job code that consults the global PRNG behaves the same
+    no matter which worker runs it or in what order.  Code using explicit
+    {!Flowsched_util.Prng} states seeded from the job payload is naturally
+    deterministic already.
+
+    Wire protocol (see DESIGN.md): each frame is a 4-byte big-endian payload
+    length followed by [Marshal] bytes (with [Marshal.Closures], which is
+    safe between a parent and its forked children since they share the code
+    image).  Parent->worker frames carry [(job, seed, payload)] or a quit
+    token; worker->parent frames carry [(job, result)]. *)
+
+type 'b outcome =
+  | Done of 'b
+  | Failed of { attempts : int; reason : string }
+      (** The job failed [attempts] times ([retries + 1] total attempts);
+          [reason] is the last failure (exception text, ["worker crashed"],
+          or ["timed out"]). *)
+
+type event =
+  | Job_started of { job : int; attempt : int }
+  | Job_done of { job : int; attempt : int; elapsed : float }
+  | Job_retried of { job : int; attempt : int; reason : string }
+  | Job_failed of { job : int; attempts : int; reason : string }
+      (** Events are delivered in the parent process, from the dispatch
+          loop; in parallel runs their interleaving across jobs follows
+          completion order, not job order. *)
+
+val default_jobs : unit -> int
+(** Detected core count ([Domain.recommended_domain_count]), at least 1. *)
+
+val map :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?base_seed:int ->
+  ?progress:(event -> unit) ->
+  f:('a -> 'b) ->
+  'a array ->
+  'b outcome array
+(** [map ~f inputs] applies [f] to every element of [inputs] and returns
+    the outcomes in input order.
+
+    - [jobs] (default {!default_jobs}): worker processes.  [jobs <= 1] runs
+      everything inline in the calling process with the same retry
+      semantics (but no timeout enforcement — there is no worker to kill).
+    - [timeout]: per-attempt wall-clock budget in seconds; on expiry the
+      worker is SIGKILLed and the attempt counts as failed.
+    - [retries] (default 1): additional attempts after the first failure;
+      a job is reported {!Failed} after [retries + 1] failed attempts.
+    - [base_seed] (default 0): mixed into the per-job [Random] reseed.
+    - [progress]: called in the parent for every lifecycle event.
+
+    [f] must only raise, return, or never terminate; results and inputs
+    must be marshalable (closures in the payload are tolerated thanks to
+    fork's shared code image, but plain data is preferred). *)

@@ -66,14 +66,126 @@ let run_cell ~policies config =
     lp_max_bound = (if config.with_lp then mean !lp_maxs else nan);
   }
 
-let run_grid ~policies ?(progress = fun _ -> ()) configs =
-  List.map
-    (fun config ->
-      progress
-        (Printf.sprintf "cell m=%d rate=%.1f T=%d lp=%b" config.m config.rate config.rounds
-           config.with_lp);
-      run_cell ~policies config)
-    configs
+(* Fan a list of independent cells across a Pool; results come back in
+   input order, so output is identical to the sequential path. *)
+let pool_map ~jobs ~describe ~progress ~f items =
+  if jobs <= 1 then
+    List.map
+      (fun item ->
+        progress (describe item);
+        f item)
+      items
+  else begin
+    let arr = Array.of_list items in
+    let open Flowsched_exec in
+    Pool.map ~jobs
+      ~progress:(function
+        | Pool.Job_started { job; _ } -> progress (describe arr.(job))
+        | Pool.Job_done { job; elapsed; _ } ->
+            progress (Printf.sprintf "done %s (%.1fs)" (describe arr.(job)) elapsed)
+        | Pool.Job_retried { job; reason; _ } ->
+            progress (Printf.sprintf "retrying %s: %s" (describe arr.(job)) reason)
+        | Pool.Job_failed { job; reason; _ } ->
+            progress (Printf.sprintf "FAILED %s: %s" (describe arr.(job)) reason))
+      ~f arr
+    |> Array.to_list
+    |> List.map (function
+         | Pool.Done r -> r
+         | Pool.Failed { attempts; reason } ->
+             failwith
+               (Printf.sprintf "experiment job failed after %d attempts: %s" attempts reason))
+  end
+
+let describe_cell config =
+  Printf.sprintf "cell m=%d rate=%.1f T=%d lp=%b" config.m config.rate config.rounds
+    config.with_lp
+
+let run_grid ~policies ?(progress = fun _ -> ()) ?(jobs = 1) configs =
+  pool_map ~jobs ~describe:describe_cell ~progress ~f:(run_cell ~policies) configs
+
+(* ------------------------------------------------------------------ *)
+(* Sweep cells: one workload instance per cell (no averaging), every    *)
+(* policy measured, optional LP bounds, wall-clock recorded — the unit  *)
+(* of the machine-readable sweep artifact.                              *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_config = {
+  workload : string;
+  ports : int;
+  arrival_rate : float;
+  horizon : int;
+  max_demand : int;
+  sweep_seed : int;
+  lp : bool;
+}
+
+type sweep_policy_result = { policy : string; art : float; mrt : int }
+
+type sweep_result = {
+  sweep : sweep_config;
+  flows : int;
+  per_policy : sweep_policy_result list;
+  lp_avg : float;
+  lp_max : float;
+  wall_s : float;
+}
+
+let sweep_workloads = [ "poisson"; "poisson-demands"; "uniform"; "skewed"; "hotspot" ]
+
+let sweep_instance s =
+  match s.workload with
+  | "poisson" ->
+      Workload.poisson ~m:s.ports ~rate:s.arrival_rate ~rounds:s.horizon ~seed:s.sweep_seed
+  | "poisson-demands" ->
+      Workload.poisson_with_demands ~m:s.ports ~rate:s.arrival_rate ~rounds:s.horizon
+        ~max_demand:s.max_demand ~seed:s.sweep_seed
+  | "skewed" ->
+      Workload.skewed ~m:s.ports ~rate:s.arrival_rate ~rounds:s.horizon ~seed:s.sweep_seed ()
+  | "hotspot" ->
+      Workload.hotspot ~m:s.ports ~rate:s.arrival_rate ~rounds:s.horizon ~seed:s.sweep_seed ()
+  | "uniform" ->
+      (* Same expected volume as the arrival processes: rate * rounds flows. *)
+      let n = max 1 (int_of_float (s.arrival_rate *. float_of_int s.horizon)) in
+      Workload.uniform_total ~m:s.ports ~n ~max_release:s.horizon ~seed:s.sweep_seed
+  | other ->
+      invalid_arg
+        (Printf.sprintf "Experiment.sweep_instance: unknown workload %S (expected %s)" other
+           (String.concat "|" sweep_workloads))
+
+let run_sweep_cell ~policies s =
+  let t0 = Unix.gettimeofday () in
+  let inst = sweep_instance s in
+  let flows = Instance.n inst in
+  let max_makespan = ref 0 in
+  let per_policy =
+    List.map
+      (fun (p : Flowsched_online.Policy.t) ->
+        let name = p.Flowsched_online.Policy.name in
+        if flows = 0 then { policy = name; art = nan; mrt = 0 }
+        else begin
+          let r = Engine.run_instance p inst in
+          max_makespan := max !max_makespan r.Engine.makespan;
+          { policy = name; art = Engine.average_response r; mrt = Engine.max_response r }
+        end)
+      policies
+  in
+  let lp_avg, lp_max =
+    if s.lp && flows > 0 then begin
+      let horizon = max (Flowsched_core.Art_lp.default_horizon inst) !max_makespan in
+      let bound = Flowsched_core.Art_lp.lower_bound ~horizon inst in
+      ( bound.Flowsched_core.Art_lp.average,
+        float_of_int (Flowsched_core.Mrt_scheduler.min_fractional_rho inst) )
+    end
+    else (nan, nan)
+  in
+  { sweep = s; flows; per_policy; lp_avg; lp_max; wall_s = Unix.gettimeofday () -. t0 }
+
+let describe_sweep s =
+  Printf.sprintf "sweep %s m=%d rate=%.1f T=%d seed=%d lp=%b" s.workload s.ports
+    s.arrival_rate s.horizon s.sweep_seed s.lp
+
+let run_sweep ~policies ?(progress = fun _ -> ()) ?(jobs = 1) cells =
+  pool_map ~jobs ~describe:describe_sweep ~progress ~f:(run_sweep_cell ~policies) cells
 
 let fig6_grid ?(m = 6) ?(tries = 3) ?(seed = 1) ?(lp_rounds_limit = 12) ~congestion ~rounds () =
   List.concat_map

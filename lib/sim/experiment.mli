@@ -35,7 +35,61 @@ val run_cell : policies:Flowsched_online.Policy.t list -> cell_config -> cell_re
 val run_grid :
   policies:Flowsched_online.Policy.t list ->
   ?progress:(string -> unit) ->
+  ?jobs:int ->
   cell_config list -> cell_result list
+(** Runs every cell and returns results in input order.  With [jobs > 1]
+    the mutually independent cells are fanned out across a
+    {!Flowsched_exec.Pool} of forked workers; because results are merged in
+    job order and each cell derives all randomness from its own seed, the
+    output is byte-identical to the sequential [jobs = 1] run.  A cell that
+    keeps failing after the pool's retry budget raises [Failure]. *)
+
+(** {2 Sweep cells}
+
+    The unit of the machine-readable sweep artifact (see
+    {!Report.sweep_json}): a single workload instance per cell — no
+    averaging across tries — with every policy's average (ART) and maximum
+    (MRT) response, optional LP lower bounds, and the cell's wall-clock. *)
+
+type sweep_config = {
+  workload : string;  (** One of {!sweep_workloads}. *)
+  ports : int;
+  arrival_rate : float;  (** The paper's M (flows per round). *)
+  horizon : int;  (** Generation rounds T. *)
+  max_demand : int;  (** Only used by ["poisson-demands"]. *)
+  sweep_seed : int;
+  lp : bool;  (** Compute LP lower bounds (the expensive part). *)
+}
+
+type sweep_policy_result = { policy : string; art : float; mrt : int }
+
+type sweep_result = {
+  sweep : sweep_config;
+  flows : int;
+  per_policy : sweep_policy_result list;
+  lp_avg : float;  (** nan when [lp = false] or the cell is empty. *)
+  lp_max : float;
+  wall_s : float;  (** Wall-clock seconds spent on this cell. *)
+}
+
+val sweep_workloads : string list
+(** Workload kinds accepted by {!sweep_instance}:
+    poisson | poisson-demands | uniform | skewed | hotspot. *)
+
+val sweep_instance : sweep_config -> Flowsched_switch.Instance.t
+(** The (deterministic) instance a sweep cell runs on.  Raises
+    [Invalid_argument] on an unknown [workload].  ["uniform"] maps the rate
+    to a fixed flow count [rate * horizon] with releases in [0, horizon]. *)
+
+val run_sweep_cell :
+  policies:Flowsched_online.Policy.t list -> sweep_config -> sweep_result
+
+val run_sweep :
+  policies:Flowsched_online.Policy.t list ->
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  sweep_config list -> sweep_result list
+(** Same parallel contract as {!run_grid}. *)
 
 val fig6_grid :
   ?m:int -> ?tries:int -> ?seed:int -> ?lp_rounds_limit:int ->

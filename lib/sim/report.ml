@@ -44,6 +44,72 @@ let table objective results =
 let fig6_table results = table `Avg results
 let fig7_table results = table `Max results
 
+(* ------------------------------------------------------------------ *)
+(* JSON artifacts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let policy_series_json values = Json.Obj (List.map (fun (name, v) -> (name, Json.float v)) values)
+
+let cell_json (cell : Experiment.cell_result) =
+  let cfg = cell.Experiment.config in
+  Json.Obj
+    [
+      ("m", Json.Int cfg.Experiment.m);
+      ("rate", Json.Float cfg.Experiment.rate);
+      ("rounds", Json.Int cfg.Experiment.rounds);
+      ("tries", Json.Int cfg.Experiment.tries);
+      ("seed", Json.Int cfg.Experiment.seed);
+      ("with_lp", Json.Bool cfg.Experiment.with_lp);
+      ("flows_mean", Json.float cell.Experiment.flows_mean);
+      ("avg_response", policy_series_json cell.Experiment.avg_response);
+      ("max_response", policy_series_json cell.Experiment.max_response);
+      ("lp_avg_bound", Json.float cell.Experiment.lp_avg_bound);
+      ("lp_max_bound", Json.float cell.Experiment.lp_max_bound);
+    ]
+
+let figures_json ?(jobs = 1) results =
+  Json.Obj
+    [
+      ("schema", Json.Str "flowsched-figures/1");
+      ("jobs", Json.Int jobs);
+      ("cells", Json.Arr (List.map cell_json results));
+    ]
+
+let sweep_cell_json (r : Experiment.sweep_result) =
+  let s = r.Experiment.sweep in
+  Json.Obj
+    [
+      ("workload", Json.Str s.Experiment.workload);
+      ("m", Json.Int s.Experiment.ports);
+      ("rate", Json.Float s.Experiment.arrival_rate);
+      ("rounds", Json.Int s.Experiment.horizon);
+      ("max_demand", Json.Int s.Experiment.max_demand);
+      ("seed", Json.Int s.Experiment.sweep_seed);
+      ("flows", Json.Int r.Experiment.flows);
+      ( "policies",
+        Json.Arr
+          (List.map
+             (fun (p : Experiment.sweep_policy_result) ->
+               Json.Obj
+                 [
+                   ("name", Json.Str p.Experiment.policy);
+                   ("avg_response", Json.float p.Experiment.art);
+                   ("max_response", Json.Int p.Experiment.mrt);
+                 ])
+             r.Experiment.per_policy) );
+      ("lp_avg_bound", Json.float r.Experiment.lp_avg);
+      ("lp_max_bound", Json.float r.Experiment.lp_max);
+      ("wall_clock_s", Json.float r.Experiment.wall_s);
+    ]
+
+let sweep_json ?(jobs = 1) results =
+  Json.Obj
+    [
+      ("schema", Json.Str "flowsched-sweep/1");
+      ("jobs", Json.Int jobs);
+      ("cells", Json.Arr (List.map sweep_cell_json results));
+    ]
+
 let csv ~objective results =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "m,rate,rounds,tries,flows,policy,value,lp_bound\n";

@@ -11,3 +11,14 @@ val fig7_table : Experiment.cell_result list -> string
 
 val csv : objective:[ `Avg | `Max ] -> Experiment.cell_result list -> string
 (** Machine-readable dump: [m,rate,rounds,tries,flows,policy,value,lp]. *)
+
+val figures_json : ?jobs:int -> Experiment.cell_result list -> Flowsched_util.Json.t
+(** The Figure 6/7 grid as a JSON artifact (schema ["flowsched-figures/1"]):
+    cell parameters, per-policy mean ART/MRT, and LP bounds (skipped bounds
+    serialize as [null]).  [jobs] records the pool width used to produce
+    the results. *)
+
+val sweep_json : ?jobs:int -> Experiment.sweep_result list -> Flowsched_util.Json.t
+(** A sweep run as a JSON artifact (schema ["flowsched-sweep/1"]): one
+    object per cell with workload parameters, flow count, per-policy
+    ART/MRT, LP bounds, and per-cell wall-clock seconds. *)

@@ -1,0 +1,44 @@
+(** Minimal hand-rolled JSON: a writer for machine-readable result
+    artifacts (the sweep / bench JSON outputs) and a parser good enough to
+    round-trip them in tests.  No external dependencies.
+
+    Numbers: integers print without a decimal point and parse to {!Int};
+    anything with a fraction or exponent parses to {!Float}.  Non-finite
+    floats have no JSON representation and are emitted as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val float : float -> t
+(** [Float f], or [Null] when [f] is nan or infinite (e.g. an LP bound
+    that was skipped). *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [pretty] (default true) indents with two spaces.  Float
+    formatting uses the shortest decimal form that parses back to the exact
+    same value. *)
+
+val parse : string -> (t, string) result
+(** Recursive-descent parser for the full JSON grammar (escapes including
+    [\uXXXX] are decoded to UTF-8).  Errors carry a byte offset. *)
+
+(** Accessors for tests and artifact consumers; all total. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] on missing field or non-object. *)
+
+val to_list : t -> t list
+(** The elements of an [Arr]; [[]] otherwise. *)
+
+val to_float_opt : t -> float option
+(** [Int] or [Float] as a float. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option

@@ -199,6 +199,94 @@ let prop_engine_matches_offline_fifo =
       let offline = Flowsched_core.Baselines.fifo inst in
       Schedule.assignment online.Engine.schedule = Schedule.assignment offline)
 
+(* --- parallel grids and the sweep artifact --- *)
+
+let test_run_grid_parallel_identical () =
+  let grid =
+    Experiment.fig6_grid ~m:4 ~tries:2 ~seed:9 ~lp_rounds_limit:4 ~congestion:[ 0.5; 1. ]
+      ~rounds:[ 3; 4 ] ()
+  in
+  let policies = Heuristics.all_paper_heuristics in
+  let seq = Experiment.run_grid ~policies ~jobs:1 grid in
+  let par = Experiment.run_grid ~policies ~jobs:3 grid in
+  Alcotest.(check int) "same cell count" (List.length seq) (List.length par);
+  Alcotest.(check bool) "identical results in job order" true (seq = par);
+  Alcotest.(check string) "identical fig6 table" (Report.fig6_table seq)
+    (Report.fig6_table par);
+  Alcotest.(check string) "identical fig7 table" (Report.fig7_table seq)
+    (Report.fig7_table par)
+
+let sweep_cells =
+  List.concat_map
+    (fun workload ->
+      List.map
+        (fun seed ->
+          {
+            Experiment.workload;
+            ports = 4;
+            arrival_rate = 2.0;
+            horizon = 4;
+            max_demand = 2;
+            sweep_seed = seed;
+            lp = true;
+          })
+        [ 1; 2 ])
+    [ "poisson"; "uniform" ]
+
+let test_sweep_deterministic_across_jobs () =
+  let policies = [ Heuristics.maxcard; Heuristics.maxweight ] in
+  let strip_wall (r : Experiment.sweep_result) = { r with Experiment.wall_s = 0. } in
+  let seq = List.map strip_wall (Experiment.run_sweep ~policies ~jobs:1 sweep_cells) in
+  let par = List.map strip_wall (Experiment.run_sweep ~policies ~jobs:3 sweep_cells) in
+  Alcotest.(check bool) "sweep results identical up to wall-clock" true (seq = par)
+
+let test_sweep_artifact_roundtrip () =
+  let open Flowsched_util in
+  let policies = [ Heuristics.maxcard; Heuristics.minrtime ] in
+  let results = Experiment.run_sweep ~policies ~jobs:2 sweep_cells in
+  let artifact = Report.sweep_json ~jobs:2 results in
+  let parsed =
+    match Json.parse (Json.to_string artifact) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "sweep artifact does not parse: %s" e
+  in
+  Alcotest.(check (option string)) "schema tag" (Some "flowsched-sweep/1")
+    (Option.bind (Json.member "schema" parsed) Json.to_string_opt);
+  Alcotest.(check (option int)) "jobs recorded" (Some 2)
+    (Option.bind (Json.member "jobs" parsed) Json.to_int_opt);
+  let cells = Json.to_list (Option.value ~default:Json.Null (Json.member "cells" parsed)) in
+  Alcotest.(check int) "one JSON object per cell" (List.length results) (List.length cells);
+  List.iter2
+    (fun (r : Experiment.sweep_result) cell ->
+      Alcotest.(check (option string)) "workload" (Some r.Experiment.sweep.Experiment.workload)
+        (Option.bind (Json.member "workload" cell) Json.to_string_opt);
+      Alcotest.(check (option int)) "flows" (Some r.Experiment.flows)
+        (Option.bind (Json.member "flows" cell) Json.to_int_opt);
+      let pols = Json.to_list (Option.value ~default:Json.Null (Json.member "policies" cell)) in
+      Alcotest.(check int) "per-policy entries" (List.length r.Experiment.per_policy)
+        (List.length pols);
+      List.iter2
+        (fun (p : Experiment.sweep_policy_result) pj ->
+          Alcotest.(check (option string)) "policy name" (Some p.Experiment.policy)
+            (Option.bind (Json.member "name" pj) Json.to_string_opt);
+          (match Option.bind (Json.member "avg_response" pj) Json.to_float_opt with
+          | Some art -> Alcotest.(check (float 1e-9)) "ART round-trips" p.Experiment.art art
+          | None -> Alcotest.(check bool) "nan ART serialized as null" true (Float.is_nan p.Experiment.art));
+          Alcotest.(check (option int)) "MRT round-trips" (Some p.Experiment.mrt)
+            (Option.bind (Json.member "max_response" pj) Json.to_int_opt))
+        r.Experiment.per_policy pols;
+      match Option.bind (Json.member "lp_avg_bound" cell) Json.to_float_opt with
+      | Some lp -> Alcotest.(check (float 1e-9)) "LP bound round-trips" r.Experiment.lp_avg lp
+      | None -> Alcotest.(check bool) "nan LP serialized as null" true (Float.is_nan r.Experiment.lp_avg))
+    results cells
+
+let test_sweep_unknown_workload_rejected () =
+  let bad = { (List.hd sweep_cells) with Experiment.workload = "fractal" } in
+  Alcotest.(check bool) "raises Invalid_argument" true
+    (match Experiment.sweep_instance bad with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
@@ -230,6 +318,16 @@ let () =
         [
           Alcotest.test_case "tables" `Quick test_report_tables;
           Alcotest.test_case "csv" `Quick test_report_csv;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "grid parallel = sequential" `Quick
+            test_run_grid_parallel_identical;
+          Alcotest.test_case "sweep deterministic across jobs" `Quick
+            test_sweep_deterministic_across_jobs;
+          Alcotest.test_case "sweep artifact round-trip" `Quick test_sweep_artifact_roundtrip;
+          Alcotest.test_case "sweep unknown workload" `Quick
+            test_sweep_unknown_workload_rejected;
         ] );
       ("properties", props);
     ]

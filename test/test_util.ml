@@ -198,6 +198,126 @@ let test_histogram () =
   let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
   Alcotest.(check int) "all values bucketed" 4 total
 
+(* Percentile edge cases: lock behavior the JSON reporter depends on. *)
+
+let test_percentile_empty_raises () =
+  Alcotest.check_raises "empty sample rejected"
+    (Invalid_argument "Stats.percentile: empty array")
+    (fun () -> ignore (Stats.percentile [||] 0.5));
+  Alcotest.check_raises "summarize empty rejected"
+    (Invalid_argument "Stats.summarize: empty array")
+    (fun () -> ignore (Stats.summarize [||]))
+
+let test_percentile_out_of_range_q () =
+  let sorted = [| 1.; 2. |] in
+  Alcotest.check_raises "q < 0 rejected" (Invalid_argument "Stats.percentile: q out of [0,1]")
+    (fun () -> ignore (Stats.percentile sorted (-0.01)));
+  Alcotest.check_raises "q > 1 rejected" (Invalid_argument "Stats.percentile: q out of [0,1]")
+    (fun () -> ignore (Stats.percentile sorted 1.01))
+
+let test_percentile_single_sample () =
+  let sorted = [| 7.5 |] in
+  check_float "p0 is the sample" 7.5 (Stats.percentile sorted 0.);
+  check_float "p50 is the sample" 7.5 (Stats.percentile sorted 0.5);
+  check_float "p100 is the sample" 7.5 (Stats.percentile sorted 1.);
+  let s = Stats.summarize [| 7.5 |] in
+  Alcotest.(check int) "count" 1 s.Stats.count;
+  check_float "mean" 7.5 s.Stats.mean;
+  check_float "stddev of singleton is 0" 0. s.Stats.stddev;
+  check_float "p50" 7.5 s.Stats.p50;
+  check_float "p99" 7.5 s.Stats.p99
+
+let test_percentile_extremes_are_min_max () =
+  let sorted = [| -3.; 0.; 1.; 10.; 100. |] in
+  check_float "p0 = min" (-3.) (Stats.percentile sorted 0.);
+  check_float "p100 = max" 100. (Stats.percentile sorted 1.)
+
+(* --- Json --- *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("schema", Json.Str "test/1");
+      ("count", Json.Int 42);
+      ("ratio", Json.Float 1.5);
+      ("precise", Json.Float 0.1);
+      ("skipped", Json.float nan);
+      ("ok", Json.Bool true);
+      ("empty_list", Json.Arr []);
+      ("empty_obj", Json.Obj []);
+      ( "cells",
+        Json.Arr
+          [
+            Json.Obj [ ("name", Json.Str "a\"b\\c\nnewline\ttab"); ("v", Json.Int (-7)) ];
+            Json.Null;
+          ] );
+    ]
+
+let test_json_roundtrip () =
+  let expect_parses v =
+    match Json.parse (Json.to_string v) with
+    | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  (* nan serializes as null, so round-trip the normalized form *)
+  let normalized =
+    match sample_json with
+    | Json.Obj fields ->
+        Json.Obj (List.map (fun (k, v) -> (k, if v = Json.float nan then Json.Null else v)) fields)
+    | v -> v
+  in
+  expect_parses normalized;
+  (match Json.parse (Json.to_string ~pretty:false normalized) with
+  | Ok v' -> Alcotest.(check bool) "compact form round-trips" true (normalized = v')
+  | Error e -> Alcotest.failf "compact parse failed: %s" e);
+  expect_parses (Json.Arr [ Json.Float 1e-9; Json.Float 3.0; Json.Float (-2.5e10) ])
+
+let test_json_parse_literals () =
+  let ok s v =
+    match Json.parse s with
+    | Ok v' -> Alcotest.(check bool) (Printf.sprintf "parse %s" s) true (v = v')
+    | Error e -> Alcotest.failf "parse %s failed: %s" s e
+  in
+  ok "null" Json.Null;
+  ok "true" (Json.Bool true);
+  ok " [1, 2.5, -3] " (Json.Arr [ Json.Int 1; Json.Float 2.5; Json.Int (-3) ]);
+  ok {|"A\n"|} (Json.Str "A\n");
+  ok "1e3" (Json.Float 1000.);
+  ok "{}" (Json.Obj [])
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "expected %s to fail" s
+    | Error _ -> ()
+  in
+  fails "";
+  fails "{";
+  fails "[1,]";
+  fails "nul";
+  fails {|"unterminated|};
+  fails "1.2.3";
+  fails "[1] trailing"
+
+let test_json_accessors () =
+  Alcotest.(check (option int)) "member int" (Some 42)
+    (Option.bind (Json.member "count" sample_json) Json.to_int_opt);
+  Alcotest.(check (option (float 1e-9))) "int as float" (Some 42.)
+    (Option.bind (Json.member "count" sample_json) Json.to_float_opt);
+  Alcotest.(check bool) "missing member" true (Json.member "nope" sample_json = None);
+  Alcotest.(check int) "to_list on non-array" 0 (List.length (Json.to_list (Json.Int 3)));
+  Alcotest.(check (option string)) "string member" (Some "test/1")
+    (Option.bind (Json.member "schema" sample_json) Json.to_string_opt)
+
+let prop_json_float_roundtrip =
+  QCheck2.Test.make ~name:"json float round-trips exactly" ~count:500
+    QCheck2.Gen.(float_bound_inclusive 1e12)
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float f') -> f' = f
+      | Ok (Json.Int i) -> float_of_int i = f
+      | _ -> false)
+
 (* --- Table --- *)
 
 let test_table_render () =
@@ -266,7 +386,12 @@ let prop_summary_bounds =
 
 let () =
   let qsuite = List.map QCheck_alcotest.to_alcotest
-      [ prop_shuffle_preserves_multiset; prop_percentile_monotone; prop_summary_bounds ]
+      [
+        prop_shuffle_preserves_multiset;
+        prop_percentile_monotone;
+        prop_summary_bounds;
+        prop_json_float_roundtrip;
+      ]
   in
   Alcotest.run "flowsched_util"
     [
@@ -300,6 +425,17 @@ let () =
           Alcotest.test_case "percentile" `Quick test_percentile;
           Alcotest.test_case "summarize" `Quick test_summarize;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "percentile empty raises" `Quick test_percentile_empty_raises;
+          Alcotest.test_case "percentile bad q raises" `Quick test_percentile_out_of_range_q;
+          Alcotest.test_case "percentile single sample" `Quick test_percentile_single_sample;
+          Alcotest.test_case "percentile p0/p100" `Quick test_percentile_extremes_are_min_max;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse literals" `Quick test_json_parse_literals;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
         ] );
       ( "table",
         [
