@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke clean
+.PHONY: build test bench bench-smoke bench-lp clean
 
 build:
 	dune build
@@ -20,6 +20,16 @@ bench-smoke:
 	  && echo "bench-smoke: OK (_smoke_sweep.json valid)" \
 	  || (echo "bench-smoke: BAD artifact" && exit 1)
 	@rm -f _smoke_sweep.json
+
+# Cold-vs-warm simplex pipeline bench on representative figure-cell LPs.
+# Exits non-zero if any warm-started solve disagrees with the cold objective
+# beyond 1e-6; writes BENCH_lp.json (per-cell iterations + wall time) so
+# future changes have a perf trajectory to compare against.
+bench-lp:
+	dune exec bench/main.exe -- lp --json
+	@grep -q '"schema": "flowsched-bench-lp/1"' BENCH_lp.json \
+	  && echo "bench-lp: OK (BENCH_lp.json valid)" \
+	  || (echo "bench-lp: BAD artifact" && exit 1)
 
 clean:
 	dune clean

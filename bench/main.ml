@@ -13,6 +13,8 @@
      dune exec bench/main.exe -- ablations    # Theorem 1 / Theorem 3 tables
      dune exec bench/main.exe -- adversarial  # Figure 4 + AMRT experiments
      dune exec bench/main.exe -- micro        # Bechamel component timings
+     dune exec bench/main.exe -- lp [--json]  # cold vs warm LP pipeline bench
+                                              # (writes BENCH_lp.json with --json)
 
    All modes but micro accept `--jobs N` (default: detected core count) and
    fan their mutually independent cells across a Flowsched_exec.Pool of
@@ -531,11 +533,201 @@ let adversarial ~jobs () =
   amrt_block ~jobs ()
 
 (* ------------------------------------------------------------------ *)
+(* LP warm-start micro-bench (cold vs warm pipelines)                  *)
+(* ------------------------------------------------------------------ *)
+
+module Simplex = Flowsched_lp.Simplex
+
+type lp_side = {
+  pivots : int;
+  ftran : int;
+  refactorizations : int;
+  warm_accepted : int;
+  warm_attempts : int;
+  phase1_skipped : int;
+  wall_s : float;
+  art_objective : float;
+  art_schedule : int list;
+  rho : int;
+}
+
+(* Run the two warmable pipelines — full iterative rounding and the full
+   rho binary search — with warm starts on or off, under counter and
+   wall-clock measurement. *)
+let lp_run_side ~warm inst =
+  Simplex.reset_counters ();
+  let t0 = Unix.gettimeofday () in
+  let schedule, diag = Iterative_rounding.run ~warm_start:warm inst in
+  let rho = Mrt_scheduler.min_fractional_rho ~warm_start:warm inst in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let c = Simplex.read_counters () in
+  {
+    pivots = c.Simplex.pivots;
+    ftran = c.Simplex.ftran_calls;
+    refactorizations = c.Simplex.refactorizations;
+    warm_accepted = c.Simplex.warm_accepted;
+    warm_attempts = c.Simplex.warm_attempts;
+    phase1_skipped = c.Simplex.phase1_skipped;
+    wall_s;
+    art_objective = diag.Iterative_rounding.lp_objective;
+    art_schedule =
+      List.init (Instance.n inst) (fun e -> Schedule.round_of schedule e);
+    rho;
+  }
+
+let lp_side_json s =
+  Json.Obj
+    [
+      ("pivots", Json.Int s.pivots);
+      ("ftran_calls", Json.Int s.ftran);
+      ("refactorizations", Json.Int s.refactorizations);
+      ("warm_accepted", Json.Int s.warm_accepted);
+      ("warm_attempts", Json.Int s.warm_attempts);
+      ("phase1_skipped", Json.Int s.phase1_skipped);
+      ("wall_s", Json.float s.wall_s);
+      ("art_objective", Json.float s.art_objective);
+      ("rho", Json.Int s.rho);
+    ]
+
+let lp_bench ?(json = false) () =
+  section "LP warm-start bench — cold vs warm simplex across the offline pipelines";
+  Printf.printf
+    "Each cell runs full iterative rounding (LP (5)-(8)) and the full rho binary\n\
+     search (LP (19)-(21)) twice: cold (every solve from the all-slack basis) and\n\
+     warm (basis threaded across rounds/probes).  Outputs must agree exactly;\n\
+     pivot counts are the speedup evidence.\n\n%!";
+  let cells =
+    [
+      (* The bench-smoke sweep cell (Makefile bench-smoke). *)
+      ("poisson m=4 rate=2 T=4 s=1", Workload.poisson ~m:4 ~rate:2.0 ~rounds:4 ~seed:1);
+      ("poisson m=4 rate=2 T=4 s=2", Workload.poisson ~m:4 ~rate:2.0 ~rounds:4 ~seed:2);
+      ("poisson m=6 rate=4 T=6 s=3", Workload.poisson ~m:6 ~rate:4.0 ~rounds:6 ~seed:3);
+      ("uniform m=4 n=24", Workload.uniform_total ~m:4 ~n:24 ~max_release:6 ~seed:41);
+      ("uniform m=3 n=60", Workload.uniform_total ~m:3 ~n:60 ~max_release:8 ~seed:1);
+      ("skewed m=5 rate=2 T=6", Workload.skewed ~m:5 ~rate:2.0 ~rounds:6 ~seed:7 ());
+    ]
+  in
+  let t =
+    Table.create
+      [
+        ("cell", Table.Left);
+        ("flows", Table.Right);
+        ("cold piv", Table.Right);
+        ("warm piv", Table.Right);
+        ("reduction", Table.Right);
+        ("warm acc", Table.Right);
+        ("p1 skip", Table.Right);
+        ("cold s", Table.Right);
+        ("warm s", Table.Right);
+        ("agree", Table.Right);
+      ]
+  in
+  let mismatches = ref 0 in
+  let total_cold = ref 0 and total_warm = ref 0 in
+  let cell_rows =
+    List.filter_map
+      (fun (label, inst) ->
+        if Instance.n inst = 0 then None
+        else begin
+          let cold = lp_run_side ~warm:false inst in
+          let warm = lp_run_side ~warm:true inst in
+          (* CI gate: a warm-started pipeline must reproduce the cold one —
+             same LP(0) objective (1e-6), same schedule, same rho. *)
+          let agree =
+            abs_float (cold.art_objective -. warm.art_objective) <= 1e-6
+            && cold.art_schedule = warm.art_schedule
+            && cold.rho = warm.rho
+          in
+          if not agree then incr mismatches;
+          total_cold := !total_cold + cold.pivots;
+          total_warm := !total_warm + warm.pivots;
+          let reduction =
+            100. *. (1. -. (float_of_int warm.pivots /. float_of_int (max 1 cold.pivots)))
+          in
+          Table.add_row t
+            [
+              label;
+              string_of_int (Instance.n inst);
+              string_of_int cold.pivots;
+              string_of_int warm.pivots;
+              Printf.sprintf "%.0f%%" reduction;
+              Printf.sprintf "%d/%d" warm.warm_accepted warm.warm_attempts;
+              string_of_int warm.phase1_skipped;
+              Table.cell_float ~decimals:3 cold.wall_s;
+              Table.cell_float ~decimals:3 warm.wall_s;
+              string_of_bool agree;
+            ];
+          Some
+            (Json.Obj
+               [
+                 ("cell", Json.Str label);
+                 ("flows", Json.Int (Instance.n inst));
+                 ("cold", lp_side_json cold);
+                 ("warm", lp_side_json warm);
+                 ("pivot_reduction_pct", Json.float reduction);
+                 ("agree", Json.Bool agree);
+               ])
+        end)
+      cells
+  in
+  Table.print t;
+  (* Same-model re-solve: warm-starting an LP with its own optimal basis
+     must confirm optimality with no pivots at all. *)
+  let built = Art_lp.build_round_lp (Workload.uniform_total ~m:4 ~n:24 ~max_release:6 ~seed:41) in
+  let first = Simplex.solve_or_fail built.Art_lp.model in
+  let again =
+    Simplex.solve_or_fail ~warm:(Array.to_list first.Simplex.basis) built.Art_lp.model
+  in
+  let resolve_agree =
+    abs_float (first.Simplex.objective -. again.Simplex.objective) <= 1e-6
+  in
+  if not resolve_agree then incr mismatches;
+  Printf.printf
+    "\nsame-model re-solve with own basis: %d -> %d pivots (objective agree: %b)\n"
+    first.Simplex.iterations again.Simplex.iterations resolve_agree;
+  let overall =
+    100. *. (1. -. (float_of_int !total_warm /. float_of_int (max 1 !total_cold)))
+  in
+  Printf.printf "overall pivots: %d cold -> %d warm (%.0f%% reduction)\n%!" !total_cold
+    !total_warm overall;
+  if json then begin
+    let artifact =
+      Json.Obj
+        [
+          ("schema", Json.Str "flowsched-bench-lp/1");
+          ("cells", Json.Arr cell_rows);
+          ("total_cold_pivots", Json.Int !total_cold);
+          ("total_warm_pivots", Json.Int !total_warm);
+          ("overall_pivot_reduction_pct", Json.float overall);
+          ( "resolve_check",
+            Json.Obj
+              [
+                ("cold_pivots", Json.Int first.Simplex.iterations);
+                ("warm_pivots", Json.Int again.Simplex.iterations);
+                ("agree", Json.Bool resolve_agree);
+              ] );
+          ("mismatches", Json.Int !mismatches);
+        ]
+    in
+    let path = "BENCH_lp.json" in
+    let oc = open_out path in
+    output_string oc (Json.to_string artifact);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
+  if !mismatches > 0 then begin
+    Printf.eprintf "FAIL: %d warm/cold disagreement(s) beyond 1e-6\n%!" !mismatches;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
 let micro () =
   section "Component micro-benchmarks (Bechamel, monotonic clock)";
+  Simplex.reset_counters ();
   let open Bechamel in
   let inst_small = Workload.uniform_total ~m:4 ~n:24 ~max_release:6 ~seed:41 in
   let inst_mid = Workload.uniform_total ~m:6 ~n:60 ~max_release:10 ~seed:42 in
@@ -620,7 +812,16 @@ let micro () =
             [ Test.Elt.name elt; human estimate; Table.cell_float ~decimals:3 r2 ])
         (Test.elements test))
     tests;
-  Table.print table
+  Table.print table;
+  let c = Simplex.read_counters () in
+  Printf.printf
+    "\nsimplex counters across all micro runs: %d solves, %d pivots, %d ftran,\n\
+     %d refactorizations, %d full scans, %d partial rounds, warm %d/%d accepted,\n\
+     %d phase-1 skips, %.3fs phase 1, %.3fs phase 2\n%!"
+    c.Simplex.solves c.Simplex.pivots c.Simplex.ftran_calls c.Simplex.refactorizations
+    c.Simplex.full_pricing_scans c.Simplex.partial_pricing_rounds c.Simplex.warm_accepted
+    c.Simplex.warm_attempts c.Simplex.phase1_skipped c.Simplex.phase1_seconds
+    c.Simplex.phase2_seconds
 
 (* ------------------------------------------------------------------ *)
 
@@ -660,7 +861,9 @@ let () =
   | "ablations" :: _ -> ablations ~jobs ()
   | "adversarial" :: _ -> adversarial ~jobs ()
   | "micro" :: _ -> micro ()
+  | "lp" :: rest -> lp_bench ~json:(List.mem "--json" rest) ()
   | other :: _ ->
-      Printf.eprintf "unknown bench mode %S (try figures|ablations|adversarial|micro)\n" other;
+      Printf.eprintf "unknown bench mode %S (try figures|ablations|adversarial|micro|lp)\n"
+        other;
       exit 2);
   Printf.printf "\nall benches finished in %.1fs\n%!" (elapsed t0)

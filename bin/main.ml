@@ -91,20 +91,39 @@ let generate_cmd =
 
 (* ----- lp-bound ----- *)
 
-let lp_bound path =
+let lp_bound path stats =
   let inst = load_instance path in
+  let module Simplex = Flowsched_lp.Simplex in
+  if stats then Simplex.reset_counters ();
   let bound = Art_lp.lower_bound inst in
   let rho = Mrt_scheduler.min_fractional_rho inst in
   Printf.printf "flows:                     %d\n" (Instance.n inst);
   Printf.printf "LP (1)-(4) total response: %.3f\n" bound.Art_lp.total;
   Printf.printf "LP (1)-(4) avg response:   %.3f\n" bound.Art_lp.average;
-  Printf.printf "LP (19)-(21) min rho:      %d\n" rho
+  Printf.printf "LP (19)-(21) min rho:      %d\n" rho;
+  if stats then begin
+    let c = Simplex.read_counters () in
+    Printf.printf "simplex solves:            %d\n" c.Simplex.solves;
+    Printf.printf "simplex pivots:            %d\n" c.Simplex.pivots;
+    Printf.printf "ftran calls:               %d\n" c.Simplex.ftran_calls;
+    Printf.printf "refactorizations:          %d\n" c.Simplex.refactorizations;
+    Printf.printf "full pricing scans:        %d\n" c.Simplex.full_pricing_scans;
+    Printf.printf "partial pricing rounds:    %d\n" c.Simplex.partial_pricing_rounds;
+    Printf.printf "warm starts accepted:      %d/%d\n" c.Simplex.warm_accepted
+      c.Simplex.warm_attempts;
+    Printf.printf "phase-1 skipped:           %d\n" c.Simplex.phase1_skipped;
+    Printf.printf "phase-1 time:              %.4fs\n" c.Simplex.phase1_seconds;
+    Printf.printf "phase-2 time:              %.4fs\n" c.Simplex.phase2_seconds
+  end
 
 let lp_bound_cmd =
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Also print simplex perf counters.")
+  in
   Cmd.v
     (Cmd.info "lp-bound"
        ~doc:"Compute the LP lower bounds on average and maximum response time.")
-    Term.(const lp_bound $ instance_arg)
+    Term.(const lp_bound $ instance_arg $ stats)
 
 (* ----- solve-art ----- *)
 

@@ -18,13 +18,23 @@ let eps_zero = 0.
 let objective_term (f : Flow.t) t =
   (float_of_int (t - f.Flow.release) /. float_of_int f.Flow.demand) +. 0.5
 
+(* Model-independent key for one basic variable of an optimal basis: a
+   structural variable b_{e,t} or the surplus of flow e's demand row.
+   Interval rows are regrouped every iteration, so their slacks are not
+   carried over (uncovered Le rows keep their default basic slack anyway). *)
+type warm_key = Wvar of int * int | Wsurplus of int
+
 (* One LP over the current supports.  [supports.(e)] lists the active rounds
    of unfixed flow [e] in increasing order; [intervals] gives, per port, the
    grouped variable intervals as lists of (flow, round) with a right-hand
-   side.  Returns the solved values as a hashtable (e, t) -> value. *)
-let solve_lp inst supports unfixed intervals =
+   side.  Returns the solved values as a hashtable (e, t) -> value, the
+   objective, and the optimal basis as warm keys for the next iteration. *)
+let solve_lp ?warm inst supports unfixed intervals =
   let model = Model.create () in
   let var = Hashtbl.create 256 in
+  let var_rev = Hashtbl.create 256 in
+  let demand_row = Hashtbl.create 64 in
+  let demand_row_rev = Hashtbl.create 64 in
   List.iter
     (fun e ->
       let f = inst.Instance.flows.(e) in
@@ -36,12 +46,16 @@ let solve_lp inst supports unfixed intervals =
                 model
             in
             Hashtbl.add var (e, t) v;
+            Hashtbl.add var_rev v (e, t);
             (v, 1.))
           supports.(e)
       in
-      ignore
-        (Model.add_constraint ~name:(Printf.sprintf "demand_%d" e) model terms Model.Ge
-           (float_of_int f.Flow.demand)))
+      let row =
+        Model.add_constraint ~name:(Printf.sprintf "demand_%d" e) model terms Model.Ge
+          (float_of_int f.Flow.demand)
+      in
+      Hashtbl.replace demand_row e row;
+      Hashtbl.replace demand_row_rev row e)
     unfixed;
   List.iter
     (fun (name, members, rhs) ->
@@ -53,10 +67,32 @@ let solve_lp inst supports unfixed intervals =
       in
       if terms <> [] then ignore (Model.add_constraint ~name model terms Model.Le rhs))
     intervals;
-  let res = Simplex.solve_or_fail model in
+  (* Keys of dropped variables / fixed flows vanish on translation. *)
+  let warm =
+    match warm with
+    | None | Some [] -> None
+    | Some keys ->
+        Some
+          (List.filter_map
+             (function
+               | Wvar (e, t) ->
+                   Option.map (fun v -> Simplex.Basic_var v) (Hashtbl.find_opt var (e, t))
+               | Wsurplus e ->
+                   Option.map (fun r -> Simplex.Basic_slack r) (Hashtbl.find_opt demand_row e))
+             keys)
+  in
+  let res = Simplex.solve_or_fail ?warm model in
   let values = Hashtbl.create 256 in
   Hashtbl.iter (fun key v -> Hashtbl.replace values key res.Simplex.values.(v)) var;
-  (values, res.Simplex.objective)
+  let basis_keys =
+    Array.to_list res.Simplex.basis
+    |> List.filter_map (function
+         | Simplex.Basic_var v ->
+             Option.map (fun (e, t) -> Wvar (e, t)) (Hashtbl.find_opt var_rev v)
+         | Simplex.Basic_slack r ->
+             Option.map (fun e -> Wsurplus e) (Hashtbl.find_opt demand_row_rev r))
+  in
+  (values, res.Simplex.objective, basis_keys)
 
 (* Initial intervals: fixed windows of four rounds with rhs 4 c_p, per port
    (constraint (7)). *)
@@ -147,7 +183,7 @@ let regrouped_intervals inst supports unfixed values =
   collect "out" inst.Instance.cap_out by_out;
   !intervals
 
-let run ?horizon inst =
+let run ?horizon ?(warm_start = true) inst =
   let n = Instance.n inst in
   let horizon =
     match horizon with Some h -> h | None -> Art_lp.default_horizon inst
@@ -164,13 +200,20 @@ let run ?horizon inst =
   let lp0_objective = ref nan in
   let unfixed = ref (List.init n (fun e -> e)) in
   let last_values = ref None in
+  (* LP(l+1) is a relaxation of LP(l) restricted to the surviving support,
+     so the previous optimal basis stays primal feasible and seeds the next
+     solve (phase 1 is skipped entirely on acceptance). *)
+  let warm = ref None in
   while !unfixed <> [] do
     let intervals =
       match !last_values with
       | None -> initial_intervals inst supports !unfixed
       | Some values -> regrouped_intervals inst supports !unfixed values
     in
-    let values, objective = solve_lp inst supports !unfixed intervals in
+    let values, objective, basis_keys =
+      solve_lp ?warm:(if warm_start then !warm else None) inst supports !unfixed intervals
+    in
+    warm := Some basis_keys;
     incr iterations;
     if Float.is_nan !lp0_objective then lp0_objective := objective;
     (* Shrink supports, fix integral flows. *)

@@ -30,8 +30,11 @@ type diagnostics = {
           pseudo-schedule: the Lemma 3.7 quantity. *)
 }
 
-val run : ?horizon:int -> Flowsched_switch.Instance.t ->
+val run : ?horizon:int -> ?warm_start:bool -> Flowsched_switch.Instance.t ->
   Flowsched_switch.Schedule.t * diagnostics
 (** Produces the pseudo-schedule and its diagnostics.  Works for arbitrary
     demands; Theorem 1's conversion to a valid schedule
-    ({!Art_scheduler.solve}) additionally requires unit demands. *)
+    ({!Art_scheduler.solve}) additionally requires unit demands.
+    [warm_start] (default [true]) seeds each iteration's LP with the
+    previous iteration's optimal basis — LP(ℓ+1) relaxes LP(ℓ) on the
+    surviving support, so the basis stays feasible and phase 1 is skipped. *)

@@ -19,12 +19,19 @@ let active_of_deadlines inst deadlines =
     if d < r then invalid_arg "Mrt_lp.active_of_deadlines: deadline before release";
     List.init (d - r + 1) (fun i -> r + i)
 
-type fractional = { values : (int * int, float) Hashtbl.t; rounds : int list }
+type basis_key = Bvar of int * int | Bcap of bool * int * int
 
-let solve ?residual inst active =
+type fractional = {
+  values : (int * int, float) Hashtbl.t;
+  rounds : int list;
+  basis : basis_key list;
+}
+
+let solve ?residual ?warm inst active =
   let n = Instance.n inst in
   let model = Model.create () in
   let var = Hashtbl.create (4 * n) in
+  let var_rev = Hashtbl.create (4 * n) in
   (* cap_rows: (is_input, port, round) -> accumulated terms *)
   let cap_terms = Hashtbl.create 64 in
   for e = 0 to n - 1 do
@@ -37,6 +44,7 @@ let solve ?residual inst active =
             invalid_arg "Mrt_lp.solve: active round before release";
           let v = Model.add_var ~name:(Printf.sprintf "x_%d_%d" e t) model in
           Hashtbl.add var (e, t) v;
+          Hashtbl.add var_rev v (e, t);
           let push key =
             let cur = try Hashtbl.find cap_terms key with Not_found -> [] in
             Hashtbl.replace cap_terms key ((v, d) :: cur)
@@ -51,6 +59,8 @@ let solve ?residual inst active =
     ignore (Model.add_constraint ~name:(Printf.sprintf "assign_%d" e) model terms Model.Eq 1.)
   done;
   let rounds = Hashtbl.create 16 in
+  let cap_row = Hashtbl.create 64 in
+  let cap_row_rev = Hashtbl.create 64 in
   Hashtbl.iter
     (fun ((is_input, p, t) as key) terms ->
       Hashtbl.replace rounds t ();
@@ -61,19 +71,48 @@ let solve ?residual inst active =
             if is_input then inst.Instance.cap_in.(p) else inst.Instance.cap_out.(p)
       in
       (* (19): port capacity per active round *)
-      ignore
-        (Model.add_constraint
-           ~name:(Printf.sprintf "cap_%s%d_%d" (if is_input then "in" else "out") p t)
-           model terms Model.Le (float_of_int cap));
-      ignore key)
+      let row =
+        Model.add_constraint
+          ~name:(Printf.sprintf "cap_%s%d_%d" (if is_input then "in" else "out") p t)
+          model terms Model.Le (float_of_int cap)
+      in
+      Hashtbl.replace cap_row key row;
+      Hashtbl.replace cap_row_rev row key)
     cap_terms;
-  let res = Simplex.solve model in
+  (* Translate a caller-level warm basis (keyed by flow/round and capacity
+     row) into this model's variable/row ids; keys absent from this model —
+     rounds cut from the active sets, capacity rows that no longer exist —
+     are simply dropped. *)
+  let warm =
+    match warm with
+    | None | Some [] -> None
+    | Some keys ->
+        Some
+          (List.filter_map
+             (function
+               | Bvar (e, t) ->
+                   Option.map (fun v -> Simplex.Basic_var v) (Hashtbl.find_opt var (e, t))
+               | Bcap (i, p, t) ->
+                   Option.map
+                     (fun r -> Simplex.Basic_slack r)
+                     (Hashtbl.find_opt cap_row (i, p, t)))
+             keys)
+  in
+  let res = Simplex.solve ?warm model in
   match res.Simplex.status with
   | Simplex.Infeasible -> None
   | Simplex.Unbounded -> assert false (* objective is constant zero *)
   | Simplex.Optimal ->
       let values = Hashtbl.create (4 * n) in
       Hashtbl.iter (fun key v -> Hashtbl.replace values key res.Simplex.values.(v)) var;
-      Some { values; rounds = Hashtbl.fold (fun t () acc -> t :: acc) rounds [] }
+      let basis =
+        Array.to_list res.Simplex.basis
+        |> List.filter_map (function
+             | Simplex.Basic_var v ->
+                 Option.map (fun (e, t) -> Bvar (e, t)) (Hashtbl.find_opt var_rev v)
+             | Simplex.Basic_slack r ->
+                 Option.map (fun (i, p, t) -> Bcap (i, p, t)) (Hashtbl.find_opt cap_row_rev r))
+      in
+      Some { values; rounds = Hashtbl.fold (fun t () acc -> t :: acc) rounds []; basis }
 
 let is_fractionally_feasible inst active = solve inst active <> None

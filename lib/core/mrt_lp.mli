@@ -16,18 +16,28 @@ val active_of_rho : Flowsched_switch.Instance.t -> int -> active
 val active_of_deadlines : Flowsched_switch.Instance.t -> int array -> active
 (** [R(e) = \[r_e, deadline_e\]] (inclusive deadline rounds). *)
 
+type basis_key = Bvar of int * int | Bcap of bool * int * int
+(** Model-independent description of one basic variable of an optimal
+    basis: a flow variable [x_{e,t}] or the slack of the capacity row
+    [(is_input, port, round)].  Stable across re-solves with different
+    active sets, so the basis of one solve can seed a related one. *)
+
 type fractional = {
   values : (int * int, float) Hashtbl.t;  (** [(flow, round) -> x_{e,t}]. *)
   rounds : int list;  (** All rounds carrying a capacity row. *)
+  basis : basis_key list;  (** Optimal basis, for warm-starting. *)
 }
 
 val solve :
   ?residual:(bool * int * int -> int) ->
+  ?warm:basis_key list ->
   Flowsched_switch.Instance.t -> active -> fractional option
 (** [solve inst active] returns a fractional solution or [None] when the LP
     is infeasible.  [residual] optionally overrides the capacity available
     at [(is_input, port, round)] — the rounding procedure uses it to account
     for already-fixed flows.  Restricting each flow to a sub-list of its
-    original active rounds is expressed by passing a narrower [active]. *)
+    original active rounds is expressed by passing a narrower [active].
+    [warm] seeds the simplex basis from a previous solve's [basis]; keys
+    not present in this model are ignored. *)
 
 val is_fractionally_feasible : Flowsched_switch.Instance.t -> active -> bool

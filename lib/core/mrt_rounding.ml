@@ -11,7 +11,7 @@ type outcome = {
 
 type row_key = bool * int * int (* is_input, port, round *)
 
-let round inst active =
+let round ?(warm_start = true) inst active =
   let n = Instance.n inst in
   let dmax = Instance.dmax inst in
   let bound = max 0 ((2 * dmax) - 1) in
@@ -54,6 +54,11 @@ let round inst active =
   let lp_solves = ref 0 and fallback_drops = ref 0 in
   let unfixed_count = ref n in
   let infeasible = ref false in
+  (* Warm basis threaded across re-solves, kept in *global* flow ids: each
+     round's sub-instance renumbers flows, so keys are translated in and out
+     through [ids].  Keys of since-fixed flows or pruned rounds drop out on
+     translation. *)
+  let warm : Mrt_lp.basis_key list option ref = ref None in
   while !unfixed_count > 0 && not !infeasible do
     (* Build the restricted instance: unfixed flows only, residual caps,
        dropped rows modeled as effectively unconstrained. *)
@@ -87,9 +92,33 @@ let round inst active =
       end
     in
     incr lp_solves;
-    (match Mrt_lp.solve ~residual sub_inst sub_active with
+    let sub_warm =
+      if not warm_start then None
+      else
+        Option.map
+          (fun keys ->
+            let sub_of_global = Hashtbl.create (Array.length ids) in
+            Array.iteri (fun i e -> Hashtbl.replace sub_of_global e i) ids;
+            List.filter_map
+              (function
+                | Mrt_lp.Bvar (e, t) ->
+                    Option.map
+                      (fun i -> Mrt_lp.Bvar (i, t))
+                      (Hashtbl.find_opt sub_of_global e)
+                | Mrt_lp.Bcap _ as k -> Some k)
+              keys)
+          !warm
+    in
+    (match Mrt_lp.solve ~residual ?warm:sub_warm sub_inst sub_active with
     | None -> infeasible := true
     | Some frac ->
+        warm :=
+          Some
+            (List.filter_map
+               (function
+                 | Mrt_lp.Bvar (i, t) -> Some (Mrt_lp.Bvar (ids.(i), t))
+                 | Mrt_lp.Bcap _ as k -> Some k)
+               frac.Mrt_lp.basis);
         let progressed = ref false in
         (* Shrink supports to the fractional support; freeze integral
            flows. *)

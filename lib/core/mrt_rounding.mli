@@ -29,6 +29,9 @@ type outcome = {
           0 in healthy runs, and only then is the bound formally implied. *)
 }
 
-val round : Flowsched_switch.Instance.t -> Mrt_lp.active -> outcome option
+val round :
+  ?warm_start:bool -> Flowsched_switch.Instance.t -> Mrt_lp.active -> outcome option
 (** [None] when the LP itself is infeasible (then no schedule meets the
-    deadlines at all, by Theorem 3's relaxation argument). *)
+    deadlines at all, by Theorem 3's relaxation argument).  [warm_start]
+    (default [true]) seeds each re-solve with the previous round's optimal
+    basis, translated through the shrinking flow renumbering. *)

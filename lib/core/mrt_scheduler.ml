@@ -15,16 +15,30 @@ let default_hi inst =
      every flow finishes within this span of its release. *)
   Art_lp.default_horizon inst
 
-let min_fractional_rho ?hi inst =
+let min_fractional_rho ?hi ?(warm_start = true) inst =
   let hi = match hi with Some h -> h | None -> default_hi inst in
-  if not (feasible_rho inst hi) then
+  (* The probe LPs of the binary search differ only in their active sets, so
+     the optimal basis of the last feasible probe seeds the next one: keys
+     for rounds cut from the shrunken windows are dropped on translation.
+     The result — the least feasible rho — is independent of which vertex
+     each probe lands on, so warm starting cannot change the answer. *)
+  let warm = ref None in
+  let probe rho =
+    let active = Mrt_lp.active_of_rho inst rho in
+    match Mrt_lp.solve ?warm:(if warm_start then !warm else None) inst active with
+    | None -> false
+    | Some frac ->
+        warm := Some frac.Mrt_lp.basis;
+        true
+  in
+  if not (probe hi) then
     failwith "Mrt_scheduler.min_fractional_rho: upper bound infeasible";
   let lo = ref 1 and hi = ref hi in
   (* invariant: hi feasible, lo - 1 infeasible (rho = 0 is vacuously
      infeasible for a non-empty instance) *)
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if feasible_rho inst mid then hi := mid else lo := mid + 1
+    if probe mid then hi := mid else lo := mid + 1
   done;
   !lo
 

@@ -22,9 +22,12 @@ type solution = {
 val feasible_rho : Flowsched_switch.Instance.t -> int -> bool
 (** Fractional feasibility of a target maximum response time. *)
 
-val min_fractional_rho : ?hi:int -> Flowsched_switch.Instance.t -> int
+val min_fractional_rho : ?hi:int -> ?warm_start:bool -> Flowsched_switch.Instance.t -> int
 (** Binary search for the smallest fractionally feasible rho.  [hi]
-    defaults to a horizon at which feasibility is guaranteed. *)
+    defaults to a horizon at which feasibility is guaranteed.
+    [warm_start] (default [true]) seeds each probe LP with the optimal
+    basis of the last feasible probe; the result is identical either way
+    (feasibility does not depend on the vertex reached), only faster. *)
 
 val solve : ?rho:int -> Flowsched_switch.Instance.t -> solution
 (** [solve inst] computes [rho = min_fractional_rho inst] (unless given)

@@ -1,12 +1,61 @@
 type status = Optimal | Infeasible | Unbounded
 
+type basis_entry = Basic_var of int | Basic_slack of int
+
+type basis = basis_entry array
+
 type result = {
   status : status;
   objective : float;
   values : float array;
   duals : float array;
   iterations : int;
+  basis : basis;
 }
+
+type counters = {
+  mutable solves : int;
+  mutable pivots : int;
+  mutable ftran_calls : int;
+  mutable refactorizations : int;
+  mutable full_pricing_scans : int;
+  mutable partial_pricing_rounds : int;
+  mutable warm_attempts : int;
+  mutable warm_accepted : int;
+  mutable phase1_skipped : int;
+  mutable phase1_seconds : float;
+  mutable phase2_seconds : float;
+}
+
+let stats =
+  {
+    solves = 0;
+    pivots = 0;
+    ftran_calls = 0;
+    refactorizations = 0;
+    full_pricing_scans = 0;
+    partial_pricing_rounds = 0;
+    warm_attempts = 0;
+    warm_accepted = 0;
+    phase1_skipped = 0;
+    phase1_seconds = 0.;
+    phase2_seconds = 0.;
+  }
+
+let reset_counters () =
+  stats.solves <- 0;
+  stats.pivots <- 0;
+  stats.ftran_calls <- 0;
+  stats.refactorizations <- 0;
+  stats.full_pricing_scans <- 0;
+  stats.partial_pricing_rounds <- 0;
+  stats.warm_attempts <- 0;
+  stats.warm_accepted <- 0;
+  stats.phase1_skipped <- 0;
+  stats.phase1_seconds <- 0.;
+  stats.phase2_seconds <- 0.
+
+let read_counters () = { stats with solves = stats.solves }
 
 exception Iteration_limit of int
 
@@ -23,9 +72,11 @@ type tab = {
   col_vals : float array array; (* sparse column: coefficients *)
   cost2 : float array; (* phase-2 objective per column *)
   is_artificial : bool array;
+  slack_of_row : int array; (* slack/surplus column of each row, -1 for Eq *)
   b : float array; (* right-hand side, >= 0 *)
   row_flip : bool array; (* true when the model row was negated *)
   basis : int array; (* column basic in each row *)
+  basis0 : int array; (* the all-slack/artificial starting basis *)
   in_basis : bool array;
   binv : float array; (* m*m row-major basis inverse *)
   xb : float array; (* basic variable values *)
@@ -63,6 +114,7 @@ let build model =
   let col_vals = Array.make ncols [||] in
   let cost2 = Array.make ncols 0. in
   let is_artificial = Array.make ncols false in
+  let slack_of_row = Array.make m (-1) in
   (* Structural columns from the row-major model. *)
   let acc_rows = Array.make n_struct [] and acc_vals = Array.make n_struct [] in
   for r = m - 1 downto 0 do
@@ -86,11 +138,13 @@ let build model =
     | Model.Le ->
         col_rows.(!next) <- [| r |];
         col_vals.(!next) <- [| 1. |];
+        slack_of_row.(r) <- !next;
         basis.(r) <- !next;
         incr next
     | Model.Ge ->
         col_rows.(!next) <- [| r |];
         col_vals.(!next) <- [| -1. |];
+        slack_of_row.(r) <- !next;
         incr next
     | Model.Eq -> ()
   done;
@@ -120,16 +174,30 @@ let build model =
     col_vals;
     cost2;
     is_artificial;
+    slack_of_row;
     b;
     row_flip;
     basis;
+    basis0 = Array.copy basis;
     in_basis;
     binv;
     xb = Array.copy b;
   }
 
+(* Restore the pristine all-slack/artificial basis (identity inverse). *)
+let reset_basis tab =
+  Array.blit tab.basis0 0 tab.basis 0 tab.m;
+  Array.fill tab.in_basis 0 tab.ncols false;
+  Array.iter (fun j -> tab.in_basis.(j) <- true) tab.basis;
+  Array.fill tab.binv 0 (tab.m * tab.m) 0.;
+  for i = 0 to tab.m - 1 do
+    tab.binv.((i * tab.m) + i) <- 1.
+  done;
+  Array.blit tab.b 0 tab.xb 0 tab.m
+
 (* w := B^-1 * A_j for a sparse column j. *)
 let ftran tab j w =
+  stats.ftran_calls <- stats.ftran_calls + 1;
   let m = tab.m in
   Array.fill w 0 m 0.;
   let rows = tab.col_rows.(j) and vals = tab.col_vals.(j) in
@@ -166,6 +234,7 @@ let reduced_cost tab cost y j =
    then recompute xb.  Called rarely; guards against drift from the
    product-form updates. *)
 let refactorize tab =
+  stats.refactorizations <- stats.refactorizations + 1;
   let m = tab.m in
   (* Dense basis matrix. *)
   let bmat = Array.make (m * m) 0. in
@@ -230,13 +299,139 @@ let refactorize tab =
     tab.xb.(i) <- (if !acc < 0. && !acc > -.eps_feas then 0. else !acc)
   done
 
+(* Eta update of the basis inverse: pivot column [j] (with ftran image [w])
+   into row [r].  Shared by the pivot loop and the warm-start crash. *)
+let apply_eta tab w r j =
+  let m = tab.m in
+  let piv = w.(r) in
+  let binv = tab.binv in
+  let base_r = r * m in
+  let inv_piv = 1. /. piv in
+  for k = 0 to m - 1 do
+    Array.unsafe_set binv (base_r + k) (Array.unsafe_get binv (base_r + k) *. inv_piv)
+  done;
+  for i = 0 to m - 1 do
+    let f = Array.unsafe_get w i in
+    if i <> r && f <> 0. then begin
+      let base_i = i * m in
+      for k = 0 to m - 1 do
+        Array.unsafe_set binv (base_i + k)
+          (Array.unsafe_get binv (base_i + k) -. (f *. Array.unsafe_get binv (base_r + k)))
+      done
+    end
+  done;
+  tab.in_basis.(tab.basis.(r)) <- false;
+  tab.basis.(r) <- j;
+  tab.in_basis.(j) <- true
+
+(* Install a caller-provided basis: map entries to tableau columns and pivot
+   each into the default basis by greedy Gaussian placement (always
+   nonsingular by construction), then refactorize for a clean inverse and
+   check primal feasibility.  Returns [true] when the tableau now holds a
+   usable (feasible) warm basis; on [false] the caller must [reset_basis]. *)
+let install_warm tab entries =
+  let m = tab.m in
+  if m = 0 || entries = [] then false
+  else begin
+    stats.warm_attempts <- stats.warm_attempts + 1;
+    let wanted_slack = Array.make m false in
+    let cols =
+      List.filter_map
+        (function
+          | Basic_var v -> if v >= 0 && v < tab.n_struct then Some v else None
+          | Basic_slack r ->
+              if r >= 0 && r < m && tab.slack_of_row.(r) >= 0 then begin
+                wanted_slack.(r) <- true;
+                Some tab.slack_of_row.(r)
+              end
+              else None)
+        entries
+    in
+    let w = Array.make m 0. in
+    let placed = ref 0 in
+    (* Feasibility-preserving greedy crash: pivoting column [j] into row [i]
+       rewrites the basic values through the eta matrix —
+       xb'(i) = xb(i) / w(i), xb'(k) = xb(k) - w(k) * xb'(i) — so a
+       candidate row is only eligible if every new value stays >= 0.  The
+       install can therefore never be rejected for infeasibility: columns
+       that would break feasibility are simply skipped, and the result is a
+       partially-warm basis that is feasible by construction. *)
+    let pivot_keeps_feasible i =
+      if abs_float w.(i) <= eps_pivot then false
+      else begin
+        let xi = tab.xb.(i) /. w.(i) in
+        if xi < -.eps_feas then false
+        else begin
+          let ok = ref true in
+          for k = 0 to m - 1 do
+            if k <> i && tab.xb.(k) -. (w.(k) *. xi) < -.eps_feas then ok := false
+          done;
+          !ok
+        end
+      end
+    in
+    List.iter
+      (fun j ->
+        if not tab.in_basis.(j) then begin
+          ftran tab j w;
+          (* Replace a default basic only: an artificial, or a row's own
+             starting slack that the warm basis does not claim. *)
+          let best = ref (-1) and best_v = ref 1e-7 in
+          for i = 0 to m - 1 do
+            let bi = tab.basis.(i) in
+            let replaceable =
+              tab.is_artificial.(bi)
+              || (bi = tab.slack_of_row.(i) && not wanted_slack.(i))
+            in
+            if replaceable then begin
+              let v = abs_float w.(i) in
+              if v > !best_v && pivot_keeps_feasible i then begin
+                best_v := v;
+                best := i
+              end
+            end
+          done;
+          if !best >= 0 then begin
+            let r = !best in
+            let xr = tab.xb.(r) /. w.(r) in
+            for k = 0 to m - 1 do
+              if k <> r then begin
+                let v = tab.xb.(k) -. (w.(k) *. xr) in
+                tab.xb.(k) <- (if v < 0. then 0. else v)
+              end
+            done;
+            tab.xb.(r) <- (if xr < 0. then 0. else xr);
+            apply_eta tab w r j;
+            incr placed
+          end
+        end)
+      cols;
+    if !placed = 0 then false
+    else
+      match refactorize tab with
+      | exception Failure _ -> false
+      | () ->
+          let feasible = ref true in
+          for i = 0 to m - 1 do
+            if tab.xb.(i) < -.eps_feas then feasible := false
+          done;
+          if !feasible then stats.warm_accepted <- stats.warm_accepted + 1;
+          !feasible
+  end
+
 (* One simplex phase: minimize [cost] over columns with [allowed j = true].
    Returns [`Optimal] or [`Unbounded].  Mutates the tableau in place.
 
    The dual vector y = c_B B^-1 is maintained incrementally: after a pivot
    that enters column q with reduced cost d_q on row r, the new duals are
    y' = y + d_q * (row r of the new B^-1) — an O(m) update.  A full O(m^2)
-   recomputation happens periodically to bound numerical drift. *)
+   recomputation happens periodically to bound numerical drift.
+
+   Pricing is partial: a rotating cursor scans windows of candidate columns
+   and pivots on the best eligible column of the first window that offers
+   one, falling back to a full scan (against freshly computed duals) only to
+   confirm optimality.  Long degenerate streaks switch to Bland's rule,
+   which needs the least-index eligible column and therefore a full scan. *)
 let run_phase tab cost allowed iter_budget iter_count =
   let m = tab.m in
   let y = Array.make m 0. in
@@ -244,6 +439,8 @@ let run_phase tab cost allowed iter_budget iter_count =
   let degenerate_streak = ref 0 in
   let since_refactor = ref 0 in
   let since_dual_refresh = ref 0 in
+  let cursor = ref 0 in
+  let window = max 32 (tab.ncols / 8) in
   compute_duals tab cost y;
   let rec loop () =
     if !iter_count > iter_budget then raise (Iteration_limit !iter_count);
@@ -252,29 +449,49 @@ let run_phase tab cost allowed iter_budget iter_count =
       compute_duals tab cost y
     end;
     let bland = !degenerate_streak > 100 in
-    (* Entering column. *)
-    let enter = ref (-1) and best = ref (-.eps_cost) in
-    (try
-       for j = 0 to tab.ncols - 1 do
-         if (not tab.in_basis.(j)) && allowed j then begin
-           let d = reduced_cost tab cost y j in
-           if bland then begin
-             if d < -.eps_cost then begin
-               enter := j;
-               raise Exit
-             end
-           end
-           else if d < !best then begin
-             best := d;
-             enter := j
-           end
-         end
-       done
-     with Exit -> ());
+    (* Entering column and its reduced cost (computed once, reused below). *)
+    let enter = ref (-1) and d_enter = ref 0. in
+    if bland then begin
+      stats.full_pricing_scans <- stats.full_pricing_scans + 1;
+      try
+        for j = 0 to tab.ncols - 1 do
+          if (not tab.in_basis.(j)) && allowed j then begin
+            let d = reduced_cost tab cost y j in
+            if d < -.eps_cost then begin
+              enter := j;
+              d_enter := d;
+              raise Exit
+            end
+          end
+        done
+      with Exit -> ()
+    end
+    else begin
+      let scanned = ref 0 in
+      while !enter < 0 && !scanned < tab.ncols do
+        stats.partial_pricing_rounds <- stats.partial_pricing_rounds + 1;
+        let chunk = min window (tab.ncols - !scanned) in
+        let best = ref (-.eps_cost) in
+        for _ = 1 to chunk do
+          let j = !cursor in
+          cursor := if !cursor + 1 >= tab.ncols then 0 else !cursor + 1;
+          if (not tab.in_basis.(j)) && allowed j then begin
+            let d = reduced_cost tab cost y j in
+            if d < !best then begin
+              best := d;
+              enter := j;
+              d_enter := d
+            end
+          end
+        done;
+        scanned := !scanned + chunk
+      done
+    end;
     if !enter < 0 then begin
       (* Confirm optimality against freshly computed duals: the incremental
          y may have drifted. *)
       compute_duals tab cost y;
+      stats.full_pricing_scans <- stats.full_pricing_scans + 1;
       let really_optimal = ref true in
       for j = 0 to tab.ncols - 1 do
         if (not tab.in_basis.(j)) && allowed j && reduced_cost tab cost y j < -.eps_cost then
@@ -288,7 +505,7 @@ let run_phase tab cost allowed iter_budget iter_count =
     end
     else begin
       let j = !enter in
-      let d_enter = reduced_cost tab cost y j in
+      let d_enter = !d_enter in
       ftran tab j w;
       (* Ratio test. *)
       let leave = ref (-1) and theta = ref infinity in
@@ -311,26 +528,11 @@ let run_phase tab cost allowed iter_budget iter_count =
       if !leave < 0 then `Unbounded
       else begin
         let r = !leave in
-        let piv = w.(r) in
         if !theta < eps_pivot then incr degenerate_streak else degenerate_streak := 0;
-        (* Update basis inverse: E * binv where E is the eta matrix. *)
+        (* Update basis inverse (eta matrix), then duals and basic values. *)
+        apply_eta tab w r j;
         let binv = tab.binv in
         let base_r = r * m in
-        let inv_piv = 1. /. piv in
-        for k = 0 to m - 1 do
-          Array.unsafe_set binv (base_r + k) (Array.unsafe_get binv (base_r + k) *. inv_piv)
-        done;
-        for i = 0 to m - 1 do
-          let f = Array.unsafe_get w i in
-          if i <> r && f <> 0. then begin
-            let base_i = i * m in
-            for k = 0 to m - 1 do
-              Array.unsafe_set binv (base_i + k)
-                (Array.unsafe_get binv (base_i + k)
-                -. (f *. Array.unsafe_get binv (base_r + k)))
-            done
-          end
-        done;
         (* Incremental dual update along the new r-th row of B^-1. *)
         for k = 0 to m - 1 do
           Array.unsafe_set y k
@@ -345,10 +547,8 @@ let run_phase tab cost allowed iter_budget iter_count =
           end
         done;
         tab.xb.(r) <- !theta;
-        tab.in_basis.(tab.basis.(r)) <- false;
-        tab.basis.(r) <- j;
-        tab.in_basis.(j) <- true;
         incr iter_count;
+        stats.pivots <- stats.pivots + 1;
         incr since_refactor;
         if !since_refactor >= 5000 then begin
           since_refactor := 0;
@@ -382,52 +582,72 @@ let evict_artificials tab =
       match !found with
       | -1 -> () (* redundant row; harmless *)
       | j ->
-          ftran tab j w;
-          let piv = w.(i) in
-          let base_r = i * m in
-          let inv_piv = 1. /. piv in
-          for k = 0 to m - 1 do
-            tab.binv.(base_r + k) <- tab.binv.(base_r + k) *. inv_piv
-          done;
-          for i' = 0 to m - 1 do
-            if i' <> i && w.(i') <> 0. then begin
-              let f = w.(i') in
-              let base_i = i' * m in
-              for k = 0 to m - 1 do
-                tab.binv.(base_i + k) <- tab.binv.(base_i + k) -. (f *. tab.binv.(base_r + k))
-              done
-            end
-          done;
-          (* Basic artificial is at value 0, so values are unchanged. *)
-          tab.in_basis.(tab.basis.(i)) <- false;
-          tab.basis.(i) <- j;
-          tab.in_basis.(j) <- true
+          (* [w] still holds the ftran image of the found column: the scan
+             stopped right after computing it.  Basic artificial is at value
+             0, so the basic values are unchanged by the pivot. *)
+          apply_eta tab w i j
     end
   done
 
-let solve ?max_iters model =
+let art_sum tab =
+  let s = ref 0. in
+  for i = 0 to tab.m - 1 do
+    if tab.is_artificial.(tab.basis.(i)) then s := !s +. tab.xb.(i)
+  done;
+  !s
+
+let any_artificial_basic tab =
+  let found = ref false in
+  for i = 0 to tab.m - 1 do
+    if tab.is_artificial.(tab.basis.(i)) then found := true
+  done;
+  !found
+
+(* The final basis in model terms, for warm-starting related solves:
+   structural columns by variable id, slack/surplus columns by their model
+   row; basic artificials (redundant rows) are omitted. *)
+let final_basis tab =
+  let acc = ref [] in
+  for i = tab.m - 1 downto 0 do
+    let j = tab.basis.(i) in
+    if j < tab.n_struct then acc := Basic_var j :: !acc
+    else if not tab.is_artificial.(j) then acc := Basic_slack tab.col_rows.(j).(0) :: !acc
+  done;
+  Array.of_list !acc
+
+let solve ?max_iters ?warm model =
+  stats.solves <- stats.solves + 1;
   let tab = build model in
   let m = tab.m in
   let budget =
     match max_iters with Some k -> k | None -> (200 * (m + tab.ncols)) + 5000
   in
   let iter_count = ref 0 in
-  (* Phase 1: minimize the sum of artificial variables. *)
+  (match warm with
+  | Some entries -> if not (install_warm tab entries) then reset_basis tab
+  | None -> ());
+  (* Phase 1: minimize the sum of artificial variables.  Skipped when no
+     basic artificial carries value — e.g. a warm basis that is already
+     feasible — because 0 is the phase-1 optimum regardless of prices. *)
   let has_artificial = Array.exists (fun a -> a) tab.is_artificial in
   let infeasible = ref false in
   if has_artificial then begin
-    let cost1 = Array.make tab.ncols 0. in
-    for j = 0 to tab.ncols - 1 do
-      if tab.is_artificial.(j) then cost1.(j) <- 1.
-    done;
-    (match run_phase tab cost1 (fun _ -> true) budget iter_count with
-    | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
-    | `Optimal -> ());
-    let art_sum = ref 0. in
-    for i = 0 to m - 1 do
-      if tab.is_artificial.(tab.basis.(i)) then art_sum := !art_sum +. tab.xb.(i)
-    done;
-    if !art_sum > 1e-6 then infeasible := true else evict_artificials tab
+    let t1 = Sys.time () in
+    if art_sum tab <= 1e-9 then begin
+      stats.phase1_skipped <- stats.phase1_skipped + 1;
+      if any_artificial_basic tab then evict_artificials tab
+    end
+    else begin
+      let cost1 = Array.make tab.ncols 0. in
+      for j = 0 to tab.ncols - 1 do
+        if tab.is_artificial.(j) then cost1.(j) <- 1.
+      done;
+      (match run_phase tab cost1 (fun _ -> true) budget iter_count with
+      | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+      | `Optimal -> ());
+      if art_sum tab > 1e-6 then infeasible := true else evict_artificials tab
+    end;
+    stats.phase1_seconds <- stats.phase1_seconds +. (Sys.time () -. t1)
   end;
   if !infeasible then
     {
@@ -436,10 +656,13 @@ let solve ?max_iters model =
       values = Array.make tab.n_struct 0.;
       duals = Array.make m 0.;
       iterations = !iter_count;
+      basis = [||];
     }
   else begin
+    let t2 = Sys.time () in
     let allowed j = not tab.is_artificial.(j) in
     let phase2 = run_phase tab tab.cost2 allowed budget iter_count in
+    stats.phase2_seconds <- stats.phase2_seconds +. (Sys.time () -. t2);
     match phase2 with
     | `Unbounded ->
         {
@@ -448,6 +671,7 @@ let solve ?max_iters model =
           values = Array.make tab.n_struct 0.;
           duals = Array.make m 0.;
           iterations = !iter_count;
+          basis = [||];
         }
     | `Optimal ->
         let values = Array.make tab.n_struct 0. in
@@ -470,11 +694,12 @@ let solve ?max_iters model =
           values;
           duals = y;
           iterations = !iter_count;
+          basis = final_basis tab;
         }
   end
 
-let solve_or_fail ?max_iters model =
-  let res = solve ?max_iters model in
+let solve_or_fail ?max_iters ?warm model =
+  let res = solve ?max_iters ?warm model in
   match res.status with
   | Optimal -> res
   | Infeasible -> failwith "Simplex.solve_or_fail: infeasible"

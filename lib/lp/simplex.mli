@@ -1,13 +1,29 @@
-(** Two-phase revised simplex over {!Model}.
+(** Two-phase revised simplex over {!Model}, with warm starts.
 
     The solver maintains a dense basis inverse updated in product form with
-    periodic refactorization, prices columns with Dantzig's rule, and falls
-    back to Bland's rule after long degenerate streaks so it cannot cycle.
-    Optimal results are vertex (basic feasible) solutions: at most
-    [num_rows] variables are non-zero, which is exactly the property the
-    iterative-rounding procedures of the paper need from the LP oracle. *)
+    periodic refactorization and falls back to Bland's rule after long
+    degenerate streaks so it cannot cycle.  Pricing is partial: a rotating
+    candidate window is scanned per pivot and a full scan (against freshly
+    computed duals) only confirms optimality.  Optimal results are vertex
+    (basic feasible) solutions: at most [num_rows] variables are non-zero,
+    which is exactly the property the iterative-rounding procedures of the
+    paper need from the LP oracle.
+
+    Warm starts: [solve ~warm] takes a basis description from a previous,
+    related solve ([result.basis]), crash-installs it onto the fresh
+    tableau, validates it by refactorization, and skips phase 1 entirely
+    when the installed basis is already primal feasible.  A singular or
+    infeasible warm basis silently falls back to the cold all-slack start,
+    so a warm solve is always correct — at worst it is not faster. *)
 
 type status = Optimal | Infeasible | Unbounded
+
+type basis_entry = Basic_var of int | Basic_slack of int
+(** One basic variable of a model-level basis: either a structural variable
+    (by {!Model.var} id) or the slack/surplus of a model row (by row id).
+    Rows not covered by the entries keep their default slack/artificial. *)
+
+type basis = basis_entry array
 
 type result = {
   status : status;
@@ -15,16 +31,43 @@ type result = {
   values : float array;  (** Structural variable values, length [num_vars]. *)
   duals : float array;  (** One dual per model row, phase-2 prices. *)
   iterations : int;
+  basis : basis;
+      (** Final optimal basis, for warm-starting a related solve; [[||]]
+          unless [status = Optimal]. *)
 }
+
+type counters = {
+  mutable solves : int;
+  mutable pivots : int;  (** Simplex iterations across all solves. *)
+  mutable ftran_calls : int;
+  mutable refactorizations : int;
+  mutable full_pricing_scans : int;
+  mutable partial_pricing_rounds : int;
+  mutable warm_attempts : int;
+  mutable warm_accepted : int;  (** Warm bases installed and primal feasible. *)
+  mutable phase1_skipped : int;
+  mutable phase1_seconds : float;
+  mutable phase2_seconds : float;
+}
+(** Cumulative solver statistics since the last {!reset_counters}.  Global
+    and mutable: callers wanting per-section numbers bracket the section
+    with [reset_counters] / [read_counters]. *)
+
+val read_counters : unit -> counters
+(** Snapshot (a copy; safe to retain) of the global counters. *)
+
+val reset_counters : unit -> unit
 
 exception Iteration_limit of int
 (** Raised if the pivot count exceeds the caller's budget — indicates a bug
     or a degenerate pathological instance, not a normal outcome. *)
 
-val solve : ?max_iters:int -> Model.t -> result
+val solve : ?max_iters:int -> ?warm:basis_entry list -> Model.t -> result
 (** [solve model] minimizes the model objective.  [max_iters] defaults to
-    [200 * (rows + vars) + 5000]. *)
+    [200 * (rows + vars) + 5000].  [warm] seeds the starting basis from a
+    previous related solve; invalid entries are ignored and an unusable
+    basis falls back to a cold start. *)
 
-val solve_or_fail : ?max_iters:int -> Model.t -> result
+val solve_or_fail : ?max_iters:int -> ?warm:basis_entry list -> Model.t -> result
 (** Like {!solve} but raises [Failure] on [Infeasible]/[Unbounded]; handy
     where feasibility is known by construction. *)

@@ -127,6 +127,7 @@ type sweep_result = {
   per_policy : sweep_policy_result list;
   lp_avg : float;
   lp_max : float;
+  lp_counters : Flowsched_lp.Simplex.counters option;
   wall_s : float;
 }
 
@@ -169,16 +170,30 @@ let run_sweep_cell ~policies s =
         end)
       policies
   in
-  let lp_avg, lp_max =
+  let lp_avg, lp_max, lp_counters =
     if s.lp && flows > 0 then begin
+      (* Counters are global and per-process; each cell runs its LP section
+         between a reset and a snapshot, so the snapshot rides back through
+         the worker pool with the rest of the cell result. *)
+      Flowsched_lp.Simplex.reset_counters ();
       let horizon = max (Flowsched_core.Art_lp.default_horizon inst) !max_makespan in
       let bound = Flowsched_core.Art_lp.lower_bound ~horizon inst in
+      let rho = Flowsched_core.Mrt_scheduler.min_fractional_rho inst in
       ( bound.Flowsched_core.Art_lp.average,
-        float_of_int (Flowsched_core.Mrt_scheduler.min_fractional_rho inst) )
+        float_of_int rho,
+        Some (Flowsched_lp.Simplex.read_counters ()) )
     end
-    else (nan, nan)
+    else (nan, nan, None)
   in
-  { sweep = s; flows; per_policy; lp_avg; lp_max; wall_s = Unix.gettimeofday () -. t0 }
+  {
+    sweep = s;
+    flows;
+    per_policy;
+    lp_avg;
+    lp_max;
+    lp_counters;
+    wall_s = Unix.gettimeofday () -. t0;
+  }
 
 let describe_sweep s =
   Printf.sprintf "sweep %s m=%d rate=%.1f T=%d seed=%d lp=%b" s.workload s.ports

@@ -69,6 +69,9 @@ type sweep_result = {
   per_policy : sweep_policy_result list;
   lp_avg : float;  (** nan when [lp = false] or the cell is empty. *)
   lp_max : float;
+  lp_counters : Flowsched_lp.Simplex.counters option;
+      (** Simplex perf counters for this cell's LP section (both bounds);
+          [None] when no LP ran. *)
   wall_s : float;  (** Wall-clock seconds spent on this cell. *)
 }
 

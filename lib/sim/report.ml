@@ -75,6 +75,22 @@ let figures_json ?(jobs = 1) results =
       ("cells", Json.Arr (List.map cell_json results));
     ]
 
+let lp_counters_json (c : Flowsched_lp.Simplex.counters) =
+  Json.Obj
+    [
+      ("solves", Json.Int c.Flowsched_lp.Simplex.solves);
+      ("pivots", Json.Int c.Flowsched_lp.Simplex.pivots);
+      ("ftran_calls", Json.Int c.Flowsched_lp.Simplex.ftran_calls);
+      ("refactorizations", Json.Int c.Flowsched_lp.Simplex.refactorizations);
+      ("full_pricing_scans", Json.Int c.Flowsched_lp.Simplex.full_pricing_scans);
+      ("partial_pricing_rounds", Json.Int c.Flowsched_lp.Simplex.partial_pricing_rounds);
+      ("warm_attempts", Json.Int c.Flowsched_lp.Simplex.warm_attempts);
+      ("warm_accepted", Json.Int c.Flowsched_lp.Simplex.warm_accepted);
+      ("phase1_skipped", Json.Int c.Flowsched_lp.Simplex.phase1_skipped);
+      ("phase1_seconds", Json.float c.Flowsched_lp.Simplex.phase1_seconds);
+      ("phase2_seconds", Json.float c.Flowsched_lp.Simplex.phase2_seconds);
+    ]
+
 let sweep_cell_json (r : Experiment.sweep_result) =
   let s = r.Experiment.sweep in
   Json.Obj
@@ -99,6 +115,10 @@ let sweep_cell_json (r : Experiment.sweep_result) =
              r.Experiment.per_policy) );
       ("lp_avg_bound", Json.float r.Experiment.lp_avg);
       ("lp_max_bound", Json.float r.Experiment.lp_max);
+      ( "lp_counters",
+        match r.Experiment.lp_counters with
+        | None -> Json.Null
+        | Some c -> lp_counters_json c );
       ("wall_clock_s", Json.float r.Experiment.wall_s);
     ]
 

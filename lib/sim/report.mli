@@ -18,6 +18,10 @@ val figures_json : ?jobs:int -> Experiment.cell_result list -> Flowsched_util.Js
     serialize as [null]).  [jobs] records the pool width used to produce
     the results. *)
 
+val lp_counters_json : Flowsched_lp.Simplex.counters -> Flowsched_util.Json.t
+(** Simplex perf-counter snapshot as a JSON object (shared by the sweep
+    artifact and the LP micro-bench artifact). *)
+
 val sweep_json : ?jobs:int -> Experiment.sweep_result list -> Flowsched_util.Json.t
 (** A sweep run as a JSON artifact (schema ["flowsched-sweep/1"]): one
     object per cell with workload parameters, flow count, per-policy

@@ -150,7 +150,7 @@ let test_rounding_completes () =
 let test_rounding_multi_iteration_path () =
   (* dense enough that LP(0) leaves fractional flows: the interval
      regrouping of iteration >= 1 must run and still satisfy the chain *)
-  let inst = Flowsched_sim.Workload.uniform_total ~m:3 ~n:60 ~max_release:8 ~seed:2 in
+  let inst = Flowsched_sim.Workload.uniform_total ~m:3 ~n:60 ~max_release:8 ~seed:1 in
   let pseudo, diag = Iterative_rounding.run inst in
   Alcotest.(check bool) "regrouping exercised" true (diag.Iterative_rounding.iterations >= 2);
   Alcotest.(check bool) "still no forced fixes" true (diag.Iterative_rounding.forced = 0);
@@ -192,6 +192,29 @@ let prop_rounding_iterations_logarithmic =
          vertices *)
       let log2n = int_of_float (ceil (log (float_of_int n) /. log 2.)) in
       diag.Iterative_rounding.iterations <= log2n + 3)
+
+let test_rounding_warm_matches_cold () =
+  (* Warm-started iterative rounding must be byte-identical to cold-start
+     and spend strictly fewer simplex pivots on a multi-iteration run. *)
+  let module Simplex = Flowsched_lp.Simplex in
+  let inst = Flowsched_sim.Workload.uniform_total ~m:3 ~n:60 ~max_release:8 ~seed:1 in
+  Simplex.reset_counters ();
+  let s_cold, d_cold = Iterative_rounding.run ~warm_start:false inst in
+  let cold_pivots = (Simplex.read_counters ()).Simplex.pivots in
+  Simplex.reset_counters ();
+  let s_warm, d_warm = Iterative_rounding.run ~warm_start:true inst in
+  let warm_pivots = (Simplex.read_counters ()).Simplex.pivots in
+  Alcotest.(check bool) "multi-iteration run" true (d_cold.Iterative_rounding.iterations >= 2);
+  Alcotest.(check (array int)) "identical schedules"
+    (Schedule.assignment s_cold) (Schedule.assignment s_warm);
+  Alcotest.(check bool) "identical LP(0) objective" true
+    (abs_float
+       (d_cold.Iterative_rounding.lp_objective -. d_warm.Iterative_rounding.lp_objective)
+    <= 1e-9);
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly fewer pivots (%d < %d)" warm_pivots cold_pivots)
+    true
+    (warm_pivots < cold_pivots)
 
 (* --- Theorem 1 end to end --- *)
 
@@ -297,6 +320,7 @@ let () =
           Alcotest.test_case "completes integrally" `Quick test_rounding_completes;
           Alcotest.test_case "multi-iteration regrouping" `Quick test_rounding_multi_iteration_path;
           Alcotest.test_case "cost below LP optimum" `Quick test_rounding_cost_dominated_by_lp;
+          Alcotest.test_case "warm start matches cold" `Quick test_rounding_warm_matches_cold;
         ] );
       ( "theorem1",
         [

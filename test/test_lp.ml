@@ -505,6 +505,90 @@ let prop_scaling_invariance =
       && r2.Simplex.status = Simplex.Optimal
       && abs_float (r1.Simplex.objective -. r2.Simplex.objective) < 1e-6)
 
+(* --- warm starts --- *)
+
+let test_warm_resolve_same_model () =
+  (* Re-solving a model seeded with its own optimal basis must confirm the
+     same optimum in (at most) as many pivots — near zero in practice. *)
+  let m, _ = build_random_lp (7, 10, 6) in
+  let r1 = Simplex.solve_or_fail m in
+  let r2 = Simplex.solve_or_fail ~warm:(Array.to_list r1.Simplex.basis) m in
+  Alcotest.(check bool) "same objective" true
+    (abs_float (r1.Simplex.objective -. r2.Simplex.objective) <= 1e-9);
+  Alcotest.(check bool) "no more pivots than cold" true
+    (r2.Simplex.iterations <= r1.Simplex.iterations)
+
+let test_warm_basis_shape () =
+  (* The returned basis only names structural vars and row slacks, never
+     more entries than rows. *)
+  let m = build_mixed_lp (3, 5, 5) in
+  let r = Simplex.solve m in
+  match r.Simplex.status with
+  | Simplex.Optimal ->
+      Alcotest.(check bool) "basis fits rows" true
+        (Array.length r.Simplex.basis <= Model.num_rows m);
+      Array.iter
+        (function
+          | Simplex.Basic_var v ->
+              Alcotest.(check bool) "var id in range" true (v >= 0 && v < Model.num_vars m)
+          | Simplex.Basic_slack row ->
+              Alcotest.(check bool) "row id in range" true
+                (row >= 0 && row < Model.num_rows m))
+        r.Simplex.basis
+  | _ -> ()
+
+let test_counters_accounting () =
+  Simplex.reset_counters ();
+  let m, _ = build_random_lp (11, 8, 5) in
+  let r = Simplex.solve_or_fail m in
+  let c = Simplex.read_counters () in
+  Alcotest.(check int) "one solve recorded" 1 c.Simplex.solves;
+  Alcotest.(check int) "pivots = result iterations" r.Simplex.iterations c.Simplex.pivots;
+  Alcotest.(check bool) "snapshot is detached" true
+    (let snap = Simplex.read_counters () in
+     ignore (Simplex.solve m);
+     snap.Simplex.solves = 1);
+  Simplex.reset_counters ();
+  Alcotest.(check int) "reset zeroes" 0 (Simplex.read_counters ()).Simplex.solves
+
+let prop_warm_matches_cold =
+  (* The basis of a cold solve, fed back as a warm start, must reproduce
+     status and objective exactly (mixed senses exercise the phase-1 skip
+     and the feasibility-preserving crash). *)
+  QCheck2.Test.make ~name:"warm solve with cold basis = cold solve" ~count:200
+    gen_random_lp_for_reference (fun params ->
+      let m = build_mixed_lp params in
+      let cold = Simplex.solve m in
+      match cold.Simplex.status with
+      | Simplex.Optimal ->
+          let warm = Simplex.solve ~warm:(Array.to_list cold.Simplex.basis) m in
+          warm.Simplex.status = Simplex.Optimal
+          && abs_float (warm.Simplex.objective -. cold.Simplex.objective) <= 1e-6
+          && warm.Simplex.iterations <= cold.Simplex.iterations
+      | _ -> true)
+
+let prop_warm_garbage_basis_is_safe =
+  (* An arbitrary (wrong, partly out-of-range) warm basis must never change
+     the answer: unusable bases fall back to the cold start. *)
+  QCheck2.Test.make ~name:"garbage warm basis falls back safely" ~count:200
+    gen_random_lp_for_reference (fun params ->
+      let m = build_mixed_lp params in
+      let cold = Simplex.solve m in
+      let garbage =
+        [
+          Simplex.Basic_var 0;
+          Simplex.Basic_var (Model.num_vars m - 1);
+          Simplex.Basic_var 9999;
+          Simplex.Basic_slack 0;
+          Simplex.Basic_slack (Model.num_rows m - 1);
+          Simplex.Basic_slack 9999;
+        ]
+      in
+      let warm = Simplex.solve ~warm:garbage m in
+      warm.Simplex.status = cold.Simplex.status
+      && (cold.Simplex.status <> Simplex.Optimal
+         || abs_float (warm.Simplex.objective -. cold.Simplex.objective) <= 1e-6))
+
 let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
@@ -513,6 +597,8 @@ let () =
         prop_random_lp_with_demands;
         prop_scaling_invariance;
         prop_matches_reference_solver;
+        prop_warm_matches_cold;
+        prop_warm_garbage_basis_is_safe;
       ]
   in
   Alcotest.run "flowsched_lp"
@@ -538,6 +624,12 @@ let () =
           Alcotest.test_case "vertex support bound" `Quick test_simplex_vertex_property;
           Alcotest.test_case "strong duality" `Quick test_simplex_duals_weak_duality;
           Alcotest.test_case "solution feasibility" `Quick test_simplex_solution_feasible;
+        ] );
+      ( "warm-start",
+        [
+          Alcotest.test_case "same-model re-solve" `Quick test_warm_resolve_same_model;
+          Alcotest.test_case "basis shape" `Quick test_warm_basis_shape;
+          Alcotest.test_case "counters accounting" `Quick test_counters_accounting;
         ] );
       ( "stress",
         [

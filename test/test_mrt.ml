@@ -88,6 +88,24 @@ let prop_feasibility_monotone =
       && Mrt_scheduler.feasible_rho inst (rho + 1)
       && ((rho = 1) || not (Mrt_scheduler.feasible_rho inst (rho - 1))))
 
+let test_rho_search_warm_matches_cold () =
+  (* Basis reuse across the binary-search probes must not change the
+     answer (feasibility of each probe LP is vertex-independent) and
+     must strictly reduce the total pivot count. *)
+  let module Simplex = Flowsched_lp.Simplex in
+  let inst = tiny_instance 71 ~m:4 ~n:24 ~maxrel:4 in
+  Simplex.reset_counters ();
+  let rho_cold = Mrt_scheduler.min_fractional_rho ~warm_start:false inst in
+  let cold_pivots = (Simplex.read_counters ()).Simplex.pivots in
+  Simplex.reset_counters ();
+  let rho_warm = Mrt_scheduler.min_fractional_rho ~warm_start:true inst in
+  let warm_pivots = (Simplex.read_counters ()).Simplex.pivots in
+  Alcotest.(check int) "identical rho" rho_cold rho_warm;
+  Alcotest.(check bool)
+    (Printf.sprintf "strictly fewer pivots (%d < %d)" warm_pivots cold_pivots)
+    true
+    (warm_pivots < cold_pivots)
+
 (* --- rounding --- *)
 
 let test_rounding_simple () =
@@ -225,6 +243,7 @@ let () =
         [
           Alcotest.test_case "feasibility + binary search" `Quick test_lp_feasibility_basic;
           Alcotest.test_case "fractional below integral" `Quick test_lp_fractional_below_integral;
+          Alcotest.test_case "warm rho search matches cold" `Quick test_rho_search_warm_matches_cold;
         ] );
       ( "rounding",
         [
