@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke bench-lp clean
+.PHONY: build test bench bench-smoke bench-lp obs-smoke clean
 
 build:
 	dune build
@@ -11,15 +11,36 @@ bench:
 
 # One tiny grid cell pushed through the fork-based worker pool end to end:
 # generates a workload, runs two policies plus the LP bounds in 2 workers,
-# and writes (then type-checks by parsing) the JSON artifact.
+# and writes (then type-checks by parsing) the JSON artifact.  Also records
+# a span trace (kept on disk for the CI artifact upload) and validates it.
 bench-smoke:
 	dune exec bin/main.exe -- sweep --kinds poisson -m 4 --rates 2 \
 	  --rounds 4 --seeds 1 --policies maxcard,maxweight --lp --jobs 2 \
-	  --out _smoke_sweep.json
+	  --trace SMOKE_trace.json --out _smoke_sweep.json
 	@grep -q '"schema": "flowsched-sweep/1"' _smoke_sweep.json \
 	  && echo "bench-smoke: OK (_smoke_sweep.json valid)" \
 	  || (echo "bench-smoke: BAD artifact" && exit 1)
+	dune exec bin/main.exe -- check-trace SMOKE_trace.json
 	@rm -f _smoke_sweep.json
+
+# Metric-merge determinism gate: the same sweep grid through 4 forked
+# workers and inline must report byte-identical counter totals (gauges carry
+# wall-clock time and pool.* counters only fire in the forked parent, so
+# both are excluded from the comparison).
+obs-smoke:
+	dune exec bin/main.exe -- sweep --kinds poisson,uniform -m 4 --rates 2 \
+	  --rounds 4 --seeds 1,2 --policies maxcard,minrtime --lp --jobs 4 \
+	  --metrics --out _obs_sweep4.json 2>_obs_metrics4.txt
+	dune exec bin/main.exe -- sweep --kinds poisson,uniform -m 4 --rates 2 \
+	  --rounds 4 --seeds 1,2 --policies maxcard,minrtime --lp --jobs 1 \
+	  --metrics --out _obs_sweep1.json 2>_obs_metrics1.txt
+	@grep '^counter ' _obs_metrics4.txt | grep -v '^counter pool\.' > _obs_c4.txt
+	@grep '^counter ' _obs_metrics1.txt | grep -v '^counter pool\.' > _obs_c1.txt
+	@diff _obs_c1.txt _obs_c4.txt \
+	  && echo "obs-smoke: OK (jobs=4 counter totals match jobs=1)" \
+	  || (echo "obs-smoke: counter totals diverge between --jobs 1 and --jobs 4" && exit 1)
+	@rm -f _obs_sweep1.json _obs_sweep4.json _obs_metrics1.txt _obs_metrics4.txt \
+	  _obs_c1.txt _obs_c4.txt
 
 # Cold-vs-warm simplex pipeline bench on representative figure-cell LPs.
 # Exits non-zero if any warm-started solve disagrees with the cold objective

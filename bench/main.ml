@@ -866,4 +866,6 @@ let () =
       Printf.eprintf "unknown bench mode %S (try figures|ablations|adversarial|micro|lp)\n"
         other;
       exit 2);
+  section "Metrics registry";
+  print_string (Flowsched_obs.Metrics.to_text (Flowsched_obs.Metrics.snapshot ()));
   Printf.printf "\nall benches finished in %.1fs\n%!" (elapsed t0)

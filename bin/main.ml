@@ -28,6 +28,41 @@ let instance_arg =
 let seed_term =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+(* ----- observability flags (shared by the experiment subcommands) ----- *)
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span trace of the run and write it to $(docv) as Chrome trace-event \
+           JSON (load in chrome://tracing or Perfetto).")
+
+let metrics_term =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the merged metrics registry (counters/gauges/histograms) to stderr on exit.")
+
+(* Bracket a subcommand body: enable tracing when requested and, on the way
+   out (also on exceptions), write the trace file and dump the registry. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Flowsched_obs.Trace.start ();
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | Some path ->
+          Flowsched_obs.Trace.stop ();
+          Flowsched_obs.Trace.write path;
+          Printf.eprintf "wrote trace %s\n%!" path
+      | None -> ());
+      if metrics then begin
+        prerr_string (Flowsched_obs.Metrics.to_text (Flowsched_obs.Metrics.snapshot ()));
+        flush stderr
+      end)
+    f
+
 let print_schedule_stats inst schedule =
   Printf.printf "flows:            %d\n" (Instance.n inst);
   Printf.printf "makespan:         %d\n" (Schedule.makespan schedule);
@@ -91,7 +126,8 @@ let generate_cmd =
 
 (* ----- lp-bound ----- *)
 
-let lp_bound path stats =
+let lp_bound path stats trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let inst = load_instance path in
   let module Simplex = Flowsched_lp.Simplex in
   if stats then Simplex.reset_counters ();
@@ -123,11 +159,12 @@ let lp_bound_cmd =
   Cmd.v
     (Cmd.info "lp-bound"
        ~doc:"Compute the LP lower bounds on average and maximum response time.")
-    Term.(const lp_bound $ instance_arg $ stats)
+    Term.(const lp_bound $ instance_arg $ stats $ trace_term $ metrics_term)
 
 (* ----- solve-art ----- *)
 
-let solve_art path c show timeline =
+let solve_art path c show timeline trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let inst = load_instance path in
   let res = Art_scheduler.solve ~c inst in
   let d = res.Art_scheduler.diagnostics in
@@ -155,11 +192,12 @@ let solve_art_cmd =
   Cmd.v
     (Cmd.info "solve-art"
        ~doc:"Minimize average response time offline (unit demands, (1+c) capacities).")
-    Term.(const solve_art $ instance_arg $ c $ show $ timeline_flag)
+    Term.(const solve_art $ instance_arg $ c $ show $ timeline_flag $ trace_term $ metrics_term)
 
 (* ----- solve-mrt ----- *)
 
-let solve_mrt path rho show timeline =
+let solve_mrt path rho show timeline trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let inst = load_instance path in
   let sol = match rho with Some r -> Mrt_scheduler.solve ~rho:r inst | None -> Mrt_scheduler.solve inst in
   Printf.printf "FS-MRT (Theorem 3), capacities +%d\n"
@@ -183,7 +221,7 @@ let solve_mrt_cmd =
   Cmd.v
     (Cmd.info "solve-mrt"
        ~doc:"Minimize maximum response time offline (capacities +2dmax-1).")
-    Term.(const solve_mrt $ instance_arg $ rho $ show $ timeline_flag)
+    Term.(const solve_mrt $ instance_arg $ rho $ show $ timeline_flag $ trace_term $ metrics_term)
 
 (* ----- simulate ----- *)
 
@@ -199,7 +237,8 @@ let policy_of_name name seed =
         other;
       exit 1
 
-let simulate path policy_name seed timeline =
+let simulate path policy_name seed timeline trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let inst = load_instance path in
   let policy = policy_of_name policy_name seed in
   let r = Flowsched_sim.Engine.run_instance policy inst in
@@ -215,7 +254,9 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run an online policy over an instance.")
-    Term.(const simulate $ instance_arg $ policy $ seed_term $ timeline_flag)
+    Term.(
+      const simulate $ instance_arg $ policy $ seed_term $ timeline_flag $ trace_term
+      $ metrics_term)
 
 (* ----- exact ----- *)
 
@@ -239,7 +280,8 @@ let exact_cmd =
 
 (* ----- figures ----- *)
 
-let figures m tries =
+let figures m tries trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let grid =
     Flowsched_sim.Experiment.fig6_grid ~m ~tries ~seed:2020
       ~congestion:[ 1. /. 3.; 2. /. 3.; 1.; 2.; 4. ]
@@ -262,11 +304,13 @@ let figures_cmd =
   let tries = Arg.(value & opt int 2 & info [ "tries" ] ~doc:"Trials per cell.") in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce the paper's Figure 6/7 tables (scaled).")
-    Term.(const figures $ m $ tries)
+    Term.(const figures $ m $ tries $ trace_term $ metrics_term)
 
 (* ----- sweep ----- *)
 
-let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs out =
+let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs out trace
+    metrics =
+  with_obs ~trace ~metrics @@ fun () ->
   let policies = List.map (fun name -> policy_of_name name 1) policy_names in
   List.iter
     (fun kind ->
@@ -308,11 +352,18 @@ let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs o
     (List.length policies) jobs;
   let t0 = Unix.gettimeofday () in
   let results =
-    Flowsched_sim.Experiment.run_sweep ~policies
-      ~progress:(fun msg -> Printf.eprintf "  %s\n%!" msg)
-      ~jobs cells
+    Flowsched_obs.Trace.with_span "sweep.run" (fun () ->
+        Flowsched_sim.Experiment.run_sweep ~policies
+          ~progress:(fun msg -> Printf.eprintf "  %s\n%!" msg)
+          ~jobs cells)
   in
-  let artifact = Flowsched_sim.Report.sweep_json ~jobs results in
+  (* The metrics block is opt-in: its timing gauges are nondeterministic and
+     would break the byte-identical-across---jobs artifact guarantee. *)
+  let metrics_block =
+    if metrics then Some (Flowsched_obs.Metrics.to_json (Flowsched_obs.Metrics.snapshot ()))
+    else None
+  in
+  let artifact = Flowsched_sim.Report.sweep_json ~jobs ?metrics:metrics_block results in
   let data = Flowsched_util.Json.to_string artifact ^ "\n" in
   (match out with
   | "-" -> print_string data
@@ -377,7 +428,48 @@ let sweep_cmd =
           write a machine-readable JSON artifact.")
     Term.(
       const sweep $ kinds $ m $ rates $ rounds_list $ max_demand $ seeds $ policy_names
-      $ with_lp $ jobs $ out)
+      $ with_lp $ jobs $ out $ trace_term $ metrics_term)
+
+(* ----- check-trace ----- *)
+
+let check_trace path =
+  let module J = Flowsched_util.Json in
+  let data =
+    try
+      if path = "-" then In_channel.input_all stdin
+      else In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  in
+  match J.parse data with
+  | Error msg ->
+      Printf.eprintf "error: %s is not valid JSON: %s\n" path msg;
+      exit 1
+  | Ok v -> (
+      match J.member "traceEvents" v with
+      | Some (J.Arr (_ :: _ as events)) ->
+          Printf.printf "%s: valid trace, %d events\n" path (List.length events)
+      | Some (J.Arr []) ->
+          Printf.eprintf "error: %s has an empty traceEvents array\n" path;
+          exit 1
+      | _ ->
+          Printf.eprintf "error: %s has no traceEvents array\n" path;
+          exit 1)
+
+let check_trace_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file written by --trace ('-' for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "check-trace"
+       ~doc:
+         "Validate that a file produced by --trace parses as Chrome trace-event JSON with a \
+          non-empty traceEvents array.")
+    Term.(const check_trace $ path)
 
 (* ----- rtt (Theorem 2 reduction demo) ----- *)
 
@@ -472,6 +564,7 @@ let () =
         exact_cmd;
         figures_cmd;
         sweep_cmd;
+        check_trace_cmd;
         rtt_cmd;
         open_problem_cmd;
       ]

@@ -1,3 +1,9 @@
+module Metrics = Flowsched_obs.Metrics
+module Trace = Flowsched_obs.Trace
+
+let c_decompositions = Metrics.counter "bvn.decompositions"
+let c_classes = Metrics.counter "bvn.color_classes"
+
 let classes_of_coloring ne colors =
   let ncolors = Array.fold_left (fun acc c -> max acc (c + 1)) 0 colors in
   let classes = Array.make ncolors [] in
@@ -7,19 +13,26 @@ let classes_of_coloring ne colors =
   (* Largest classes first: when color classes become rounds, this front-
      loads the work. *)
   Array.sort (fun a b -> compare (List.length b) (List.length a)) classes;
+  Metrics.incr c_decompositions;
+  Metrics.incr ~by:ncolors c_classes;
   classes
 
 let decompose g =
   let ne = Bgraph.num_edges g in
   if ne = 0 then [||]
-  else classes_of_coloring ne (Edge_coloring.color g)
+  else
+    Trace.with_span "bvn.decompose"
+      ~args:(fun () -> [ ("edges", Flowsched_util.Json.Int ne) ])
+      (fun () -> classes_of_coloring ne (Edge_coloring.color g))
 
 let decompose_b_matching g ~cl ~cr =
   let ne = Bgraph.num_edges g in
   if ne = 0 then [||]
-  else begin
-    let expansion = Bmatching.expand g ~cl ~cr in
-    (* Edge i of the expansion is edge i of g, so the expanded coloring is
-       directly a coloring of g's edges into b-matchings. *)
-    classes_of_coloring ne (Edge_coloring.color expansion.Bmatching.graph)
-  end
+  else
+    Trace.with_span "bvn.decompose_b_matching"
+      ~args:(fun () -> [ ("edges", Flowsched_util.Json.Int ne) ])
+      (fun () ->
+        let expansion = Bmatching.expand g ~cl ~cr in
+        (* Edge i of the expansion is edge i of g, so the expanded coloring is
+           directly a coloring of g's edges into b-matchings. *)
+        classes_of_coloring ne (Edge_coloring.color expansion.Bmatching.graph))

@@ -1,6 +1,11 @@
 open Flowsched_switch
 module Model = Flowsched_lp.Model
 module Simplex = Flowsched_lp.Simplex
+module Metrics = Flowsched_obs.Metrics
+module Trace = Flowsched_obs.Trace
+
+let c_iterations = Metrics.counter "ir.iterations"
+let c_forced = Metrics.counter "ir.forced_fixes"
 
 type diagnostics = {
   iterations : int;
@@ -183,7 +188,7 @@ let regrouped_intervals inst supports unfixed values =
   collect "out" inst.Instance.cap_out by_out;
   !intervals
 
-let run ?horizon ?(warm_start = true) inst =
+let run_loop ?horizon ~warm_start inst =
   let n = Instance.n inst in
   let horizon =
     match horizon with Some h -> h | None -> Art_lp.default_horizon inst
@@ -211,10 +216,14 @@ let run ?horizon ?(warm_start = true) inst =
       | Some values -> regrouped_intervals inst supports !unfixed values
     in
     let values, objective, basis_keys =
-      solve_lp ?warm:(if warm_start then !warm else None) inst supports !unfixed intervals
+      Trace.with_span "ir.lp"
+        ~args:(fun () -> [ ("unfixed", Flowsched_util.Json.Int (List.length !unfixed)) ])
+        (fun () ->
+          solve_lp ?warm:(if warm_start then !warm else None) inst supports !unfixed intervals)
     in
     warm := Some basis_keys;
     incr iterations;
+    Metrics.incr c_iterations;
     if Float.is_nan !lp0_objective then lp0_objective := objective;
     (* Shrink supports, fix integral flows. *)
     let progressed = ref false in
@@ -267,6 +276,7 @@ let run ?horizon ?(warm_start = true) inst =
       if !e_best >= 0 then begin
         Schedule.assign schedule !e_best !t_best;
         incr forced;
+        Metrics.incr c_forced;
         unfixed := List.filter (fun e -> e <> !e_best) remaining
       end
       else failwith "Iterative_rounding.run: empty support for unfixed flow"
@@ -289,3 +299,8 @@ let run ?horizon ?(warm_start = true) inst =
       assignment_cost;
       backlog;
     } )
+
+let run ?horizon ?(warm_start = true) inst =
+  Trace.with_span "ir.run"
+    ~args:(fun () -> [ ("flows", Flowsched_util.Json.Int (Instance.n inst)) ])
+    (fun () -> run_loop ?horizon ~warm_start inst)

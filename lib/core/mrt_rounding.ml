@@ -1,4 +1,9 @@
 open Flowsched_switch
+module Metrics = Flowsched_obs.Metrics
+module Trace = Flowsched_obs.Trace
+
+let c_lp_solves = Metrics.counter "mrt.round_lp_solves"
+let c_fallback_drops = Metrics.counter "mrt.fallback_drops"
 
 type outcome = {
   schedule : Schedule.t;
@@ -11,7 +16,7 @@ type outcome = {
 
 type row_key = bool * int * int (* is_input, port, round *)
 
-let round ?(warm_start = true) inst active =
+let round_loop ~warm_start inst active =
   let n = Instance.n inst in
   let dmax = Instance.dmax inst in
   let bound = max 0 ((2 * dmax) - 1) in
@@ -92,6 +97,7 @@ let round ?(warm_start = true) inst active =
       end
     in
     incr lp_solves;
+    Metrics.incr c_lp_solves;
     let sub_warm =
       if not warm_start then None
       else
@@ -172,6 +178,7 @@ let round ?(warm_start = true) inst active =
           match !best with
           | Some (key, _) ->
               incr fallback_drops;
+              Metrics.incr c_fallback_drops;
               Hashtbl.remove enforced key
           | None ->
               (* No capacity rows left: the LP is a product of simplices and
@@ -193,3 +200,8 @@ let round ?(warm_start = true) inst active =
         fallback_drops = !fallback_drops;
       }
   end
+
+let round ?(warm_start = true) inst active =
+  Trace.with_span "mrt.round"
+    ~args:(fun () -> [ ("flows", Flowsched_util.Json.Int (Instance.n inst)) ])
+    (fun () -> round_loop ~warm_start inst active)

@@ -1,4 +1,9 @@
 open Flowsched_switch
+module Metrics = Flowsched_obs.Metrics
+module Trace = Flowsched_obs.Trace
+
+let c_rho_probes = Metrics.counter "mrt.rho_probes"
+let c_rho_feasible = Metrics.counter "mrt.rho_probes_feasible"
 
 type solution = {
   rho : int;
@@ -16,6 +21,7 @@ let default_hi inst =
   Art_lp.default_horizon inst
 
 let min_fractional_rho ?hi ?(warm_start = true) inst =
+  Trace.with_span "mrt.min_fractional_rho" (fun () ->
   let hi = match hi with Some h -> h | None -> default_hi inst in
   (* The probe LPs of the binary search differ only in their active sets, so
      the optimal basis of the last feasible probe seeds the next one: keys
@@ -24,12 +30,17 @@ let min_fractional_rho ?hi ?(warm_start = true) inst =
      each probe lands on, so warm starting cannot change the answer. *)
   let warm = ref None in
   let probe rho =
-    let active = Mrt_lp.active_of_rho inst rho in
-    match Mrt_lp.solve ?warm:(if warm_start then !warm else None) inst active with
-    | None -> false
-    | Some frac ->
-        warm := Some frac.Mrt_lp.basis;
-        true
+    Metrics.incr c_rho_probes;
+    Trace.with_span "mrt.rho_probe"
+      ~args:(fun () -> [ ("rho", Flowsched_util.Json.Int rho) ])
+      (fun () ->
+        let active = Mrt_lp.active_of_rho inst rho in
+        match Mrt_lp.solve ?warm:(if warm_start then !warm else None) inst active with
+        | None -> false
+        | Some frac ->
+            warm := Some frac.Mrt_lp.basis;
+            Metrics.incr c_rho_feasible;
+            true)
   in
   if not (probe hi) then
     failwith "Mrt_scheduler.min_fractional_rho: upper bound infeasible";
@@ -40,7 +51,7 @@ let min_fractional_rho ?hi ?(warm_start = true) inst =
     let mid = (!lo + !hi) / 2 in
     if probe mid then hi := mid else lo := mid + 1
   done;
-  !lo
+  !lo)
 
 let augmentation inst = max 0 ((2 * Instance.dmax inst) - 1)
 

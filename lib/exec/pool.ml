@@ -1,3 +1,13 @@
+module Metrics = Flowsched_obs.Metrics
+module Trace = Flowsched_obs.Trace
+
+let c_jobs_done = Metrics.counter "pool.jobs_done"
+let c_jobs_failed = Metrics.counter "pool.jobs_failed"
+let c_retries = Metrics.counter "pool.retries"
+let c_workers_spawned = Metrics.counter "pool.workers_spawned"
+let c_worker_deaths = Metrics.counter "pool.worker_deaths"
+let h_job_seconds = Metrics.histogram "pool.job_seconds"
+
 type 'b outcome =
   | Done of 'b
   | Failed of { attempts : int; reason : string }
@@ -83,16 +93,22 @@ let spawn ~f ~others =
           (try Unix.close w.to_w with Unix.Unix_error _ -> ());
           try Unix.close w.from_w with Unix.Unix_error _ -> ())
         others;
+      (* Spans die with the worker, so recording them is pure overhead;
+         metrics instead travel back as per-job registry diffs in the
+         result frames (the inherited pre-fork registry state cancels in
+         the diff). *)
+      Trace.stop ();
       let rec serve () =
         match (try read_frame job_r with Worker_eof -> Quit) with
         | Quit -> ()
         | Job { job; seed; payload } ->
             Random.init seed;
+            let before = Metrics.snapshot () in
             let result =
               try Ok (f payload)
               with e -> Error (Printexc.to_string e)
             in
-            write_frame res_w (job, result);
+            write_frame res_w (job, result, Metrics.diff (Metrics.snapshot ()) before);
             serve ()
       in
       (try serve () with _ -> ());
@@ -125,15 +141,20 @@ let run_inline ~retries ~base_seed ~progress ~f inputs =
         Random.init (seed_for ~base_seed job);
         match f input with
         | v ->
-            progress (Job_done { job; attempt = k; elapsed = Unix.gettimeofday () -. t0 });
+            let elapsed = Unix.gettimeofday () -. t0 in
+            Metrics.incr c_jobs_done;
+            Metrics.observe h_job_seconds elapsed;
+            progress (Job_done { job; attempt = k; elapsed });
             Done v
         | exception e ->
             let reason = Printexc.to_string e in
             if k <= retries then begin
+              Metrics.incr c_retries;
               progress (Job_retried { job; attempt = k; reason });
               attempt (k + 1)
             end
             else begin
+              Metrics.incr c_jobs_failed;
               progress (Job_failed { job; attempts = k; reason });
               Failed { attempts = k; reason }
             end
@@ -156,16 +177,21 @@ let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
   let workers = ref [] in
   let settle job attempt reason =
     if attempt <= retries then begin
+      Metrics.incr c_retries;
       progress (Job_retried { job; attempt; reason });
       Queue.add (job, attempt + 1) pending
     end
     else begin
+      Metrics.incr c_jobs_failed;
       progress (Job_failed { job; attempts = attempt; reason });
       results.(job) <- Some (Failed { attempts = attempt; reason });
       incr completed
     end
   in
-  let spawn_worker () = workers := spawn ~f ~others:!workers :: !workers in
+  let spawn_worker () =
+    Metrics.incr c_workers_spawned;
+    workers := spawn ~f ~others:!workers :: !workers
+  in
   let retire w =
     workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
     kill_and_reap w
@@ -173,6 +199,7 @@ let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
   (* A dead worker's in-flight job goes back through the retry budget; the
      pool then refills itself if there is still work for the slot. *)
   let handle_dead w reason =
+    Metrics.incr c_worker_deaths;
     (match w.current with
     | Some (job, attempt, _) -> settle job attempt reason
     | None -> ());
@@ -238,7 +265,10 @@ let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
               | None -> ()
               | Some w -> (
                   match read_frame w.from_w with
-                  | job, Ok value ->
+                  | job, Ok value, worker_metrics ->
+                      (* Fold the worker's per-job registry diff into our own
+                         registry: merged totals match a --jobs 1 run. *)
+                      Metrics.absorb worker_metrics;
                       let attempt, elapsed =
                         match w.current with
                         | Some (_, attempt, start) -> (attempt, Unix.gettimeofday () -. start)
@@ -246,9 +276,14 @@ let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
                       in
                       results.(job) <- Some (Done value);
                       incr completed;
+                      Metrics.incr c_jobs_done;
+                      Metrics.observe h_job_seconds elapsed;
                       w.current <- None;
                       progress (Job_done { job; attempt; elapsed })
-                  | job, Error reason ->
+                  | job, Error reason, worker_metrics ->
+                      (* A failed attempt's increments land in the registry
+                         too, matching inline-mode semantics. *)
+                      Metrics.absorb worker_metrics;
                       let attempt =
                         match w.current with Some (_, attempt, _) -> attempt | None -> 1
                       in
@@ -275,5 +310,13 @@ let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
 let map ?jobs ?timeout ?(retries = 1) ?(base_seed = 0) ?(progress = fun _ -> ()) ~f inputs =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
   if Array.length inputs = 0 then [||]
-  else if jobs = 1 then run_inline ~retries ~base_seed ~progress ~f inputs
-  else run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs
+  else
+    Trace.with_span "pool.map"
+      ~args:(fun () ->
+        [
+          ("jobs", Flowsched_util.Json.Int jobs);
+          ("inputs", Flowsched_util.Json.Int (Array.length inputs));
+        ])
+      (fun () ->
+        if jobs = 1 then run_inline ~retries ~base_seed ~progress ~f inputs
+        else run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs)

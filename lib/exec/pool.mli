@@ -25,7 +25,21 @@
     length followed by [Marshal] bytes (with [Marshal.Closures], which is
     safe between a parent and its forked children since they share the code
     image).  Parent->worker frames carry [(job, seed, payload)] or a quit
-    token; worker->parent frames carry [(job, result)]. *)
+    token; worker->parent frames carry [(job, result, metrics)] where
+    [metrics] is the {!Flowsched_obs.Metrics} registry diff accumulated by
+    that attempt (sent on success {e and} on a returned failure).
+
+    Observability: the parent {!Flowsched_obs.Metrics.absorb}s each frame's
+    diff, so after [map] the parent registry holds the same "simplex.*",
+    "engine.*", ... totals as an inline [~jobs:1] run — counters merge
+    deterministically because integer addition commutes.  Attempts that die
+    without returning a frame (crash, timeout) lose their metrics, mirroring
+    inline mode where such attempts cannot occur.  The pool itself counts
+    under "pool.*" ([jobs_done], [jobs_failed], [retries],
+    [workers_spawned], [worker_deaths], and the [job_seconds] histogram) —
+    these are parent-side and legitimately differ between [--jobs] settings.
+    Span tracing ({!Flowsched_obs.Trace}) is disabled in workers right after
+    fork; only the parent's spans (e.g. ["pool.map"]) survive. *)
 
 type 'b outcome =
   | Done of 'b

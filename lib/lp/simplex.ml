@@ -27,35 +27,69 @@ type counters = {
   mutable phase2_seconds : float;
 }
 
-let stats =
-  {
-    solves = 0;
-    pivots = 0;
-    ftran_calls = 0;
-    refactorizations = 0;
-    full_pricing_scans = 0;
-    partial_pricing_rounds = 0;
-    warm_attempts = 0;
-    warm_accepted = 0;
-    phase1_skipped = 0;
-    phase1_seconds = 0.;
-    phase2_seconds = 0.;
-  }
+module Metrics = Flowsched_obs.Metrics
+module Trace = Flowsched_obs.Trace
+
+(* The solver's event counts live in the process-wide metrics registry under
+   "simplex.*", so they survive the worker-pool fork boundary (workers ship
+   registry diffs back in their result frames) and show up next to the rest
+   of the pipeline's metrics.  [read_counters]/[reset_counters] below are a
+   back-compat shim over these handles. *)
+let c_solves = Metrics.counter "simplex.solves"
+let c_pivots = Metrics.counter "simplex.pivots"
+let c_ftran = Metrics.counter "simplex.ftran_calls"
+let c_refactorizations = Metrics.counter "simplex.refactorizations"
+let c_full_pricing_scans = Metrics.counter "simplex.full_pricing_scans"
+let c_partial_pricing_rounds = Metrics.counter "simplex.partial_pricing_rounds"
+let c_warm_attempts = Metrics.counter "simplex.warm_attempts"
+let c_warm_accepted = Metrics.counter "simplex.warm_accepted"
+let c_phase1_skipped = Metrics.counter "simplex.phase1_skipped"
+let g_phase1_seconds = Metrics.gauge "simplex.phase1_seconds"
+let g_phase2_seconds = Metrics.gauge "simplex.phase2_seconds"
 
 let reset_counters () =
-  stats.solves <- 0;
-  stats.pivots <- 0;
-  stats.ftran_calls <- 0;
-  stats.refactorizations <- 0;
-  stats.full_pricing_scans <- 0;
-  stats.partial_pricing_rounds <- 0;
-  stats.warm_attempts <- 0;
-  stats.warm_accepted <- 0;
-  stats.phase1_skipped <- 0;
-  stats.phase1_seconds <- 0.;
-  stats.phase2_seconds <- 0.
+  let zero c = Metrics.incr ~by:(-Metrics.counter_value c) c in
+  zero c_solves;
+  zero c_pivots;
+  zero c_ftran;
+  zero c_refactorizations;
+  zero c_full_pricing_scans;
+  zero c_partial_pricing_rounds;
+  zero c_warm_attempts;
+  zero c_warm_accepted;
+  zero c_phase1_skipped;
+  Metrics.set_gauge g_phase1_seconds 0.;
+  Metrics.set_gauge g_phase2_seconds 0.
 
-let read_counters () = { stats with solves = stats.solves }
+let read_counters () =
+  {
+    solves = Metrics.counter_value c_solves;
+    pivots = Metrics.counter_value c_pivots;
+    ftran_calls = Metrics.counter_value c_ftran;
+    refactorizations = Metrics.counter_value c_refactorizations;
+    full_pricing_scans = Metrics.counter_value c_full_pricing_scans;
+    partial_pricing_rounds = Metrics.counter_value c_partial_pricing_rounds;
+    warm_attempts = Metrics.counter_value c_warm_attempts;
+    warm_accepted = Metrics.counter_value c_warm_accepted;
+    phase1_skipped = Metrics.counter_value c_phase1_skipped;
+    phase1_seconds = Metrics.gauge_value g_phase1_seconds;
+    phase2_seconds = Metrics.gauge_value g_phase2_seconds;
+  }
+
+let diff_counters a b =
+  {
+    solves = a.solves - b.solves;
+    pivots = a.pivots - b.pivots;
+    ftran_calls = a.ftran_calls - b.ftran_calls;
+    refactorizations = a.refactorizations - b.refactorizations;
+    full_pricing_scans = a.full_pricing_scans - b.full_pricing_scans;
+    partial_pricing_rounds = a.partial_pricing_rounds - b.partial_pricing_rounds;
+    warm_attempts = a.warm_attempts - b.warm_attempts;
+    warm_accepted = a.warm_accepted - b.warm_accepted;
+    phase1_skipped = a.phase1_skipped - b.phase1_skipped;
+    phase1_seconds = a.phase1_seconds -. b.phase1_seconds;
+    phase2_seconds = a.phase2_seconds -. b.phase2_seconds;
+  }
 
 exception Iteration_limit of int
 
@@ -197,7 +231,7 @@ let reset_basis tab =
 
 (* w := B^-1 * A_j for a sparse column j. *)
 let ftran tab j w =
-  stats.ftran_calls <- stats.ftran_calls + 1;
+  Metrics.incr c_ftran;
   let m = tab.m in
   Array.fill w 0 m 0.;
   let rows = tab.col_rows.(j) and vals = tab.col_vals.(j) in
@@ -234,7 +268,7 @@ let reduced_cost tab cost y j =
    then recompute xb.  Called rarely; guards against drift from the
    product-form updates. *)
 let refactorize tab =
-  stats.refactorizations <- stats.refactorizations + 1;
+  Metrics.incr c_refactorizations;
   let m = tab.m in
   (* Dense basis matrix. *)
   let bmat = Array.make (m * m) 0. in
@@ -333,7 +367,7 @@ let install_warm tab entries =
   let m = tab.m in
   if m = 0 || entries = [] then false
   else begin
-    stats.warm_attempts <- stats.warm_attempts + 1;
+    Metrics.incr c_warm_attempts;
     let wanted_slack = Array.make m false in
     let cols =
       List.filter_map
@@ -415,7 +449,7 @@ let install_warm tab entries =
           for i = 0 to m - 1 do
             if tab.xb.(i) < -.eps_feas then feasible := false
           done;
-          if !feasible then stats.warm_accepted <- stats.warm_accepted + 1;
+          if !feasible then Metrics.incr c_warm_accepted;
           !feasible
   end
 
@@ -452,7 +486,7 @@ let run_phase tab cost allowed iter_budget iter_count =
     (* Entering column and its reduced cost (computed once, reused below). *)
     let enter = ref (-1) and d_enter = ref 0. in
     if bland then begin
-      stats.full_pricing_scans <- stats.full_pricing_scans + 1;
+      Metrics.incr c_full_pricing_scans;
       try
         for j = 0 to tab.ncols - 1 do
           if (not tab.in_basis.(j)) && allowed j then begin
@@ -469,7 +503,7 @@ let run_phase tab cost allowed iter_budget iter_count =
     else begin
       let scanned = ref 0 in
       while !enter < 0 && !scanned < tab.ncols do
-        stats.partial_pricing_rounds <- stats.partial_pricing_rounds + 1;
+        Metrics.incr c_partial_pricing_rounds;
         let chunk = min window (tab.ncols - !scanned) in
         let best = ref (-.eps_cost) in
         for _ = 1 to chunk do
@@ -491,7 +525,7 @@ let run_phase tab cost allowed iter_budget iter_count =
       (* Confirm optimality against freshly computed duals: the incremental
          y may have drifted. *)
       compute_duals tab cost y;
-      stats.full_pricing_scans <- stats.full_pricing_scans + 1;
+      Metrics.incr c_full_pricing_scans;
       let really_optimal = ref true in
       for j = 0 to tab.ncols - 1 do
         if (not tab.in_basis.(j)) && allowed j && reduced_cost tab cost y j < -.eps_cost then
@@ -548,7 +582,7 @@ let run_phase tab cost allowed iter_budget iter_count =
         done;
         tab.xb.(r) <- !theta;
         incr iter_count;
-        stats.pivots <- stats.pivots + 1;
+        Metrics.incr c_pivots;
         incr since_refactor;
         if !since_refactor >= 5000 then begin
           since_refactor := 0;
@@ -615,8 +649,8 @@ let final_basis tab =
   done;
   Array.of_list !acc
 
-let solve ?max_iters ?warm model =
-  stats.solves <- stats.solves + 1;
+let solve_tab ?max_iters ?warm model =
+  Metrics.incr c_solves;
   let tab = build model in
   let m = tab.m in
   let budget =
@@ -633,21 +667,22 @@ let solve ?max_iters ?warm model =
   let infeasible = ref false in
   if has_artificial then begin
     let t1 = Sys.time () in
-    if art_sum tab <= 1e-9 then begin
-      stats.phase1_skipped <- stats.phase1_skipped + 1;
-      if any_artificial_basic tab then evict_artificials tab
-    end
-    else begin
-      let cost1 = Array.make tab.ncols 0. in
-      for j = 0 to tab.ncols - 1 do
-        if tab.is_artificial.(j) then cost1.(j) <- 1.
-      done;
-      (match run_phase tab cost1 (fun _ -> true) budget iter_count with
-      | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
-      | `Optimal -> ());
-      if art_sum tab > 1e-6 then infeasible := true else evict_artificials tab
-    end;
-    stats.phase1_seconds <- stats.phase1_seconds +. (Sys.time () -. t1)
+    Trace.with_span "simplex.phase1" (fun () ->
+        if art_sum tab <= 1e-9 then begin
+          Metrics.incr c_phase1_skipped;
+          if any_artificial_basic tab then evict_artificials tab
+        end
+        else begin
+          let cost1 = Array.make tab.ncols 0. in
+          for j = 0 to tab.ncols - 1 do
+            if tab.is_artificial.(j) then cost1.(j) <- 1.
+          done;
+          (match run_phase tab cost1 (fun _ -> true) budget iter_count with
+          | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+          | `Optimal -> ());
+          if art_sum tab > 1e-6 then infeasible := true else evict_artificials tab
+        end);
+    Metrics.add_gauge g_phase1_seconds (Sys.time () -. t1)
   end;
   if !infeasible then
     {
@@ -661,8 +696,10 @@ let solve ?max_iters ?warm model =
   else begin
     let t2 = Sys.time () in
     let allowed j = not tab.is_artificial.(j) in
-    let phase2 = run_phase tab tab.cost2 allowed budget iter_count in
-    stats.phase2_seconds <- stats.phase2_seconds +. (Sys.time () -. t2);
+    let phase2 =
+      Trace.with_span "simplex.phase2" (fun () -> run_phase tab tab.cost2 allowed budget iter_count)
+    in
+    Metrics.add_gauge g_phase2_seconds (Sys.time () -. t2);
     match phase2 with
     | `Unbounded ->
         {
@@ -697,6 +734,16 @@ let solve ?max_iters ?warm model =
           basis = final_basis tab;
         }
   end
+
+let solve ?max_iters ?warm model =
+  Trace.with_span "simplex.solve"
+    ~args:(fun () ->
+      [
+        ("rows", Flowsched_util.Json.Int (Model.num_rows model));
+        ("vars", Flowsched_util.Json.Int (Model.num_vars model));
+        ("warm", Flowsched_util.Json.Bool (warm <> None));
+      ])
+    (fun () -> solve_tab ?max_iters ?warm model)
 
 let solve_or_fail ?max_iters ?warm model =
   let res = solve ?max_iters ?warm model in

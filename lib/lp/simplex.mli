@@ -49,14 +49,29 @@ type counters = {
   mutable phase1_seconds : float;
   mutable phase2_seconds : float;
 }
-(** Cumulative solver statistics since the last {!reset_counters}.  Global
-    and mutable: callers wanting per-section numbers bracket the section
-    with [reset_counters] / [read_counters]. *)
+(** Cumulative solver statistics since the last {!reset_counters}.
+
+    {b Deprecated interface}: the authoritative store is now the
+    process-wide {!Flowsched_obs.Metrics} registry, under the
+    ["simplex.*"] names ([simplex.solves], [simplex.pivots],
+    [simplex.ftran_calls], ...); this record is a shim read off those
+    handles and kept for existing callers.  New code should read the
+    registry — unlike this record, registry snapshots merge across the
+    worker-pool fork boundary.  Prefer bracketing a section with
+    {!read_counters} and {!diff_counters} over calling {!reset_counters},
+    which zeroes the shared registry for every other reader in the
+    process. *)
 
 val read_counters : unit -> counters
-(** Snapshot (a copy; safe to retain) of the global counters. *)
+(** Snapshot (a copy; safe to retain) of the registry-backed counters. *)
 
 val reset_counters : unit -> unit
+(** Zero the ["simplex.*"] registry metrics (and hence this record).
+    Deprecated for new code — see {!type:counters}. *)
+
+val diff_counters : counters -> counters -> counters
+(** [diff_counters after before]: field-wise subtraction, for per-section
+    accounting without resetting the shared registry. *)
 
 exception Iteration_limit of int
 (** Raised if the pivot count exceeds the caller's budget — indicates a bug

@@ -1,0 +1,194 @@
+let n_buckets = 64
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+type histogram = { hbuckets : int array; mutable hsum : float; mutable hcount : int }
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name make match_kind =
+  match Hashtbl.find_opt registry name with
+  | Some m -> (
+      match match_kind m with
+      | Some h -> h
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already registered as a %s" name (kind_name m)))
+  | None ->
+      let m = make () in
+      Hashtbl.add registry name m;
+      (match match_kind m with Some h -> h | None -> assert false)
+
+let counter name =
+  register name (fun () -> C { c = 0 }) (function C h -> Some h | _ -> None)
+
+let gauge name = register name (fun () -> G { g = 0. }) (function G h -> Some h | _ -> None)
+
+let histogram name =
+  register name
+    (fun () -> H { hbuckets = Array.make n_buckets 0; hsum = 0.; hcount = 0 })
+    (function H h -> Some h | _ -> None)
+
+let incr ?(by = 1) h = h.c <- h.c + by
+let counter_value h = h.c
+let add_gauge h v = h.g <- h.g +. v
+let set_gauge h v = h.g <- v
+let gauge_value h = h.g
+
+(* Bucket 0 holds non-positive values; bucket i in 1..63 holds values whose
+   [frexp] exponent is i - 32, clamped at both ends.  One bucket per octave. *)
+let bucket_of v =
+  if v <= 0. || Float.is_nan v then 0
+  else
+    let _, e = Float.frexp v in
+    max 1 (min (n_buckets - 1) (e + 32))
+
+let bucket_upper_bound i = if i <= 0 then 0. else Float.ldexp 1. (i - 32)
+
+let observe h v =
+  let b = bucket_of v in
+  h.hbuckets.(b) <- h.hbuckets.(b) + 1;
+  h.hsum <- h.hsum +. v;
+  h.hcount <- h.hcount + 1
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : (int * int) list; sum : float; count : int }
+
+type snapshot = (string * value) list
+
+let value_of = function
+  | C h -> Counter h.c
+  | G h -> Gauge h.g
+  | H h ->
+      let buckets = ref [] in
+      for i = n_buckets - 1 downto 0 do
+        if h.hbuckets.(i) <> 0 then buckets := (i, h.hbuckets.(i)) :: !buckets
+      done;
+      Histogram { buckets = !buckets; sum = h.hsum; count = h.hcount }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | C h -> h.c <- 0
+      | G h -> h.g <- 0.
+      | H h ->
+          Array.fill h.hbuckets 0 n_buckets 0;
+          h.hsum <- 0.;
+          h.hcount <- 0)
+    registry
+
+(* Bucket lists are sorted by index; add occupancies bucket-wise. *)
+let add_buckets a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (ia, na) :: ta, (ib, nb) :: tb ->
+        if ia < ib then (ia, na) :: go ta b
+        else if ia > ib then (ib, nb) :: go a tb
+        else (ia, na + nb) :: go ta tb
+  in
+  List.filter (fun (_, n) -> n <> 0) (go a b)
+
+let combine name a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (x +. y)
+  | Histogram x, Histogram y ->
+      Histogram
+        { buckets = add_buckets x.buckets y.buckets; sum = x.sum +. y.sum; count = x.count + y.count }
+  | _ -> invalid_arg (Printf.sprintf "Metrics.merge: kind mismatch for %S" name)
+
+let merge a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | ((na, va) as ha) :: ta, ((nb, vb) as hb) :: tb ->
+        let c = String.compare na nb in
+        if c < 0 then ha :: go ta b
+        else if c > 0 then hb :: go a tb
+        else (na, combine na va vb) :: go ta tb
+  in
+  go a b
+
+let negate = function
+  | Counter x -> Counter (-x)
+  | Gauge x -> Gauge (-.x)
+  | Histogram h ->
+      Histogram
+        {
+          buckets = List.map (fun (i, n) -> (i, -n)) h.buckets;
+          sum = -.h.sum;
+          count = -h.count;
+        }
+
+let is_zero = function
+  | Counter 0 -> true
+  | Gauge g -> g = 0.
+  | Histogram { buckets = []; count = 0; _ } -> true
+  | _ -> false
+
+let diff after before =
+  merge after (List.map (fun (n, v) -> (n, negate v)) before)
+  |> List.filter (fun (_, v) -> not (is_zero v))
+
+let absorb snap =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter x -> incr ~by:x (counter name)
+      | Gauge x -> add_gauge (gauge name) x
+      | Histogram { buckets; sum; count } ->
+          let h = histogram name in
+          List.iter
+            (fun (i, n) -> if i >= 0 && i < n_buckets then h.hbuckets.(i) <- h.hbuckets.(i) + n)
+            buckets;
+          h.hsum <- h.hsum +. sum;
+          h.hcount <- h.hcount + count)
+    snap
+
+let to_json snap =
+  let module J = Flowsched_util.Json in
+  J.Obj
+    (List.map
+       (fun (name, v) ->
+         ( name,
+           match v with
+           | Counter x -> J.Int x
+           | Gauge x -> J.float x
+           | Histogram { buckets; sum; count } ->
+               J.Obj
+                 [
+                   ("count", J.Int count);
+                   ("sum", J.float sum);
+                   ( "buckets",
+                     J.Arr
+                       (List.map
+                          (fun (i, n) -> J.Arr [ J.float (bucket_upper_bound i); J.Int n ])
+                          buckets) );
+                 ] ))
+       snap)
+
+let to_text snap =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter x -> Buffer.add_string buf (Printf.sprintf "counter %s %d\n" name x)
+      | Gauge x -> Buffer.add_string buf (Printf.sprintf "gauge %s %.6g\n" name x)
+      | Histogram { sum; count; _ } ->
+          let mean = if count = 0 then 0. else sum /. float_of_int count in
+          Buffer.add_string buf
+            (Printf.sprintf "histogram %s count=%d sum=%.6g mean=%.6g\n" name count sum mean))
+    snap;
+  Buffer.contents buf

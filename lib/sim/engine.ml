@@ -1,4 +1,11 @@
 open Flowsched_switch
+module Metrics = Flowsched_obs.Metrics
+module Trace = Flowsched_obs.Trace
+
+let c_rounds = Metrics.counter "engine.rounds"
+let c_idle_rounds = Metrics.counter "engine.idle_rounds"
+let c_flows = Metrics.counter "engine.flows_arrived"
+let h_queue_len = Metrics.histogram "engine.queue_len"
 
 type result = {
   flows : Flow.t array;
@@ -15,6 +22,7 @@ exception Policy_violation of string
    says whether new arrivals may still appear. *)
 let drive ?(validate = true) ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out ~arrive ~more
     (policy : Flowsched_online.Policy.t) =
+  Trace.with_span "engine.drive" (fun () ->
   let all_flows = ref [] in
   let assignment = ref [] in
   (* queue as a list of flows, oldest first *)
@@ -27,8 +35,11 @@ let drive ?(validate = true) ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out ~ar
       failwith "Engine: queue did not drain within max_rounds";
     let arrivals = if more !round then arrive !round !pending else [] in
     List.iter (fun (f : Flow.t) -> all_flows := f :: !all_flows) arrivals;
+    Metrics.incr ~by:(List.length arrivals) c_flows;
     pending := !pending @ arrivals;
     let queue = Array.of_list !pending in
+    Metrics.incr c_rounds;
+    Metrics.observe h_queue_len (float_of_int (Array.length queue));
     let ctx =
       {
         Flowsched_online.Policy.m;
@@ -55,7 +66,10 @@ let drive ?(validate = true) ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out ~ar
           (Policy_violation
              (Printf.sprintf "capacity-infeasible selection at round %d" !round))
     end;
-    if selected = [] && queue <> [||] then incr rounds_idle;
+    if selected = [] && queue <> [||] then begin
+      incr rounds_idle;
+      Metrics.incr c_idle_rounds
+    end;
     let chosen = Hashtbl.create 8 in
     List.iter (fun i -> Hashtbl.replace chosen queue.(i).Flow.id ()) selected;
     if selected <> [] then makespan := !round + 1;
@@ -86,7 +100,7 @@ let drive ?(validate = true) ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out ~ar
   List.iter (fun (id, r) -> slots.(id) <- r) !assignment;
   let schedule = Schedule.make slots in
   let responses = Array.mapi (fun i r -> r + 1 - flows.(i).Flow.release) slots in
-  { flows; schedule; responses; makespan = !makespan; rounds_idle = !rounds_idle }
+  { flows; schedule; responses; makespan = !makespan; rounds_idle = !rounds_idle })
 
 let run_instance ?validate (policy : Flowsched_online.Policy.t) inst =
   let by_release = Hashtbl.create 16 in

@@ -153,7 +153,7 @@ let sweep_instance s =
         (Printf.sprintf "Experiment.sweep_instance: unknown workload %S (expected %s)" other
            (String.concat "|" sweep_workloads))
 
-let run_sweep_cell ~policies s =
+let run_sweep_cell_timed ~policies s =
   let t0 = Unix.gettimeofday () in
   let inst = sweep_instance s in
   let flows = Instance.n inst in
@@ -172,16 +172,20 @@ let run_sweep_cell ~policies s =
   in
   let lp_avg, lp_max, lp_counters =
     if s.lp && flows > 0 then begin
-      (* Counters are global and per-process; each cell runs its LP section
-         between a reset and a snapshot, so the snapshot rides back through
-         the worker pool with the rest of the cell result. *)
-      Flowsched_lp.Simplex.reset_counters ();
+      (* Counters are global and per-process; each cell brackets its LP
+         section with read/diff (NOT reset: a reset would wipe the other
+         cells' contribution to the process totals, and with it the
+         guarantee that merged --jobs N registry totals equal a --jobs 1
+         run).  The per-cell diff rides back through the worker pool with
+         the rest of the cell result. *)
+      let before = Flowsched_lp.Simplex.read_counters () in
       let horizon = max (Flowsched_core.Art_lp.default_horizon inst) !max_makespan in
       let bound = Flowsched_core.Art_lp.lower_bound ~horizon inst in
       let rho = Flowsched_core.Mrt_scheduler.min_fractional_rho inst in
       ( bound.Flowsched_core.Art_lp.average,
         float_of_int rho,
-        Some (Flowsched_lp.Simplex.read_counters ()) )
+        Some (Flowsched_lp.Simplex.diff_counters (Flowsched_lp.Simplex.read_counters ()) before)
+      )
     end
     else (nan, nan, None)
   in
@@ -198,6 +202,11 @@ let run_sweep_cell ~policies s =
 let describe_sweep s =
   Printf.sprintf "sweep %s m=%d rate=%.1f T=%d seed=%d lp=%b" s.workload s.ports
     s.arrival_rate s.horizon s.sweep_seed s.lp
+
+let run_sweep_cell ~policies s =
+  Flowsched_obs.Trace.with_span "sweep.cell"
+    ~args:(fun () -> [ ("cell", Json.Str (describe_sweep s)) ])
+    (fun () -> run_sweep_cell_timed ~policies s)
 
 let run_sweep ~policies ?(progress = fun _ -> ()) ?(jobs = 1) cells =
   pool_map ~jobs ~describe:describe_sweep ~progress ~f:(run_sweep_cell ~policies) cells

@@ -122,13 +122,16 @@ let sweep_cell_json (r : Experiment.sweep_result) =
       ("wall_clock_s", Json.float r.Experiment.wall_s);
     ]
 
-let sweep_json ?(jobs = 1) results =
+let sweep_json ?(jobs = 1) ?metrics results =
   Json.Obj
-    [
-      ("schema", Json.Str "flowsched-sweep/1");
-      ("jobs", Json.Int jobs);
-      ("cells", Json.Arr (List.map sweep_cell_json results));
-    ]
+    ([
+       ("schema", Json.Str "flowsched-sweep/1");
+       ("jobs", Json.Int jobs);
+       ("cells", Json.Arr (List.map sweep_cell_json results));
+     ]
+    @ match metrics with
+      | None -> []
+      | Some m -> [ ("metrics", m) ])
 
 let csv ~objective results =
   let buf = Buffer.create 256 in

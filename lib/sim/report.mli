@@ -22,7 +22,13 @@ val lp_counters_json : Flowsched_lp.Simplex.counters -> Flowsched_util.Json.t
 (** Simplex perf-counter snapshot as a JSON object (shared by the sweep
     artifact and the LP micro-bench artifact). *)
 
-val sweep_json : ?jobs:int -> Experiment.sweep_result list -> Flowsched_util.Json.t
+val sweep_json :
+  ?jobs:int -> ?metrics:Flowsched_util.Json.t -> Experiment.sweep_result list ->
+  Flowsched_util.Json.t
 (** A sweep run as a JSON artifact (schema ["flowsched-sweep/1"]): one
     object per cell with workload parameters, flow count, per-policy
-    ART/MRT, LP bounds, and per-cell wall-clock seconds. *)
+    ART/MRT, LP bounds, and per-cell wall-clock seconds.  [metrics]
+    (typically {!Flowsched_obs.Metrics.to_json} of the merged post-run
+    registry) is appended as a top-level ["metrics"] block when given; it
+    is opt-in because its timing gauges would break the byte-identical
+    artifact guarantee across [--jobs]. *)

@@ -119,11 +119,35 @@ let parse input =
       Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
-    else begin
+    else if code < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
       Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let hex_escape () =
+    if !pos + 4 > n then error "truncated \\u escape";
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | _ -> error "bad \\u escape"
+    in
+    let code =
+      (digit input.[!pos] lsl 12)
+      lor (digit input.[!pos + 1] lsl 8)
+      lor (digit input.[!pos + 2] lsl 4)
+      lor digit input.[!pos + 3]
+    in
+    pos := !pos + 4;
+    code
   in
   let parse_string () =
     expect '"';
@@ -148,13 +172,23 @@ let parse input =
           | 'b' -> Buffer.add_char buf '\b'
           | 'f' -> Buffer.add_char buf '\012'
           | 'u' ->
-              if !pos + 4 > n then error "truncated \\u escape";
-              let hex = String.sub input !pos 4 in
-              pos := !pos + 4;
-              let code =
-                try int_of_string ("0x" ^ hex) with Failure _ -> error "bad \\u escape"
-              in
-              utf8_of_code buf code
+              (* UTF-16: a high surrogate must pair with an escaped low
+                 surrogate; the pair encodes one astral code point as four
+                 UTF-8 bytes.  Lone surrogates are invalid JSON text. *)
+              let code = hex_escape () in
+              if code >= 0xD800 && code <= 0xDBFF then begin
+                if not (!pos + 2 <= n && input.[!pos] = '\\' && input.[!pos + 1] = 'u') then
+                  error "lone high surrogate in \\u escape";
+                pos := !pos + 2;
+                let low = hex_escape () in
+                if low < 0xDC00 || low > 0xDFFF then
+                  error "lone high surrogate in \\u escape";
+                utf8_of_code buf
+                  (0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00))
+              end
+              else if code >= 0xDC00 && code <= 0xDFFF then
+                error "lone low surrogate in \\u escape"
+              else utf8_of_code buf code
           | _ -> error "bad escape character");
           loop ())
       | c -> Buffer.add_char buf c; loop ()

@@ -38,10 +38,16 @@ let mean values =
   let n = Array.length values in
   if n = 0 then nan else Array.fold_left ( +. ) 0. values /. float_of_int n
 
+let reject_nan fn values =
+  Array.iter
+    (fun v -> if Float.is_nan v then invalid_arg (Printf.sprintf "Stats.%s: NaN input" fn))
+    values
+
 let percentile sorted q =
   let n = Array.length sorted in
   if n = 0 then invalid_arg "Stats.percentile: empty array";
-  if q < 0. || q > 1. then invalid_arg "Stats.percentile: q out of [0,1]";
+  if Float.is_nan q || q < 0. || q > 1. then invalid_arg "Stats.percentile: q out of [0,1]";
+  reject_nan "percentile" sorted;
   let rank = q *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
   let hi = int_of_float (ceil rank) in
@@ -53,8 +59,11 @@ let percentile sorted q =
 let summarize values =
   let n = Array.length values in
   if n = 0 then invalid_arg "Stats.summarize: empty array";
+  reject_nan "summarize" values;
   let sorted = Array.copy values in
-  Array.sort compare sorted;
+  (* [Float.compare], not polymorphic [compare]: identical on non-NaN data
+     but guaranteed total and boxing-free on float arrays. *)
+  Array.sort Float.compare sorted;
   let r = running_create () in
   Array.iter (running_add r) values;
   {

@@ -30,11 +30,13 @@ type summary = {
 
 val summarize : float array -> summary
 (** Batch summary; the input array is not modified.  Raises
-    [Invalid_argument] on an empty array. *)
+    [Invalid_argument] on an empty array or when any input is NaN. *)
 
 val percentile : float array -> float -> float
 (** [percentile sorted q] with [q] in [\[0,1\]] over a {e sorted} array, using
-    linear interpolation between closest ranks. *)
+    linear interpolation between closest ranks.  Raises [Invalid_argument]
+    when [q] is NaN or out of range, or when any input is NaN (NaN would
+    otherwise silently corrupt the rank interpolation). *)
 
 val mean : float array -> float
 val histogram : ?bins:int -> float array -> (float * float * int) array

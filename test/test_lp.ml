@@ -551,6 +551,42 @@ let test_counters_accounting () =
   Simplex.reset_counters ();
   Alcotest.(check int) "reset zeroes" 0 (Simplex.read_counters ()).Simplex.solves
 
+(* The legacy counters record is now a shim over the flowsched_obs metrics
+   registry; the two views must stay equal, and reset must zero both. *)
+let test_counters_shim_matches_registry () =
+  let module M = Flowsched_obs.Metrics in
+  Simplex.reset_counters ();
+  let m, _ = build_random_lp (13, 9, 7) in
+  ignore (Simplex.solve_or_fail m);
+  ignore (Simplex.solve m);
+  let c = Simplex.read_counters () in
+  let reg name = M.counter_value (M.counter name) in
+  Alcotest.(check int) "solves" (reg "simplex.solves") c.Simplex.solves;
+  Alcotest.(check int) "pivots" (reg "simplex.pivots") c.Simplex.pivots;
+  Alcotest.(check int) "ftran" (reg "simplex.ftran_calls") c.Simplex.ftran_calls;
+  Alcotest.(check int) "refactorizations" (reg "simplex.refactorizations")
+    c.Simplex.refactorizations;
+  Alcotest.(check int) "full scans" (reg "simplex.full_pricing_scans")
+    c.Simplex.full_pricing_scans;
+  Alcotest.(check int) "partial rounds" (reg "simplex.partial_pricing_rounds")
+    c.Simplex.partial_pricing_rounds;
+  Alcotest.(check int) "warm attempts" (reg "simplex.warm_attempts") c.Simplex.warm_attempts;
+  Alcotest.(check int) "warm accepted" (reg "simplex.warm_accepted") c.Simplex.warm_accepted;
+  Alcotest.(check int) "phase1 skipped" (reg "simplex.phase1_skipped") c.Simplex.phase1_skipped;
+  Alcotest.(check (float 1e-9)) "phase1 seconds"
+    (M.gauge_value (M.gauge "simplex.phase1_seconds"))
+    c.Simplex.phase1_seconds;
+  Alcotest.(check (float 1e-9)) "phase2 seconds"
+    (M.gauge_value (M.gauge "simplex.phase2_seconds"))
+    c.Simplex.phase2_seconds;
+  (* diff_counters subtracts field-wise *)
+  let d = Simplex.diff_counters c c in
+  Alcotest.(check int) "self-diff solves" 0 d.Simplex.solves;
+  Alcotest.(check int) "self-diff pivots" 0 d.Simplex.pivots;
+  Simplex.reset_counters ();
+  Alcotest.(check int) "reset zeroes the registry too" 0 (reg "simplex.solves");
+  Alcotest.(check int) "reset zeroes pivots in registry" 0 (reg "simplex.pivots")
+
 let prop_warm_matches_cold =
   (* The basis of a cold solve, fed back as a warm start, must reproduce
      status and objective exactly (mixed senses exercise the phase-1 skip
@@ -630,6 +666,8 @@ let () =
           Alcotest.test_case "same-model re-solve" `Quick test_warm_resolve_same_model;
           Alcotest.test_case "basis shape" `Quick test_warm_basis_shape;
           Alcotest.test_case "counters accounting" `Quick test_counters_accounting;
+          Alcotest.test_case "counters shim matches registry" `Quick
+            test_counters_shim_matches_registry;
         ] );
       ( "stress",
         [

@@ -1,0 +1,298 @@
+(* Tests for flowsched_obs: span nesting and timing monotonicity, metric
+   snapshot algebra (merge associativity/commutativity, diff, absorb),
+   worker->parent metric merging through the Pool fork boundary, and the
+   Json parser's surrogate-pair handling the trace writer relies on. *)
+
+open Flowsched_obs
+module Json = Flowsched_util.Json
+module Pool = Flowsched_exec.Pool
+
+(* The registry is process-global, so every test uses its own "test.*" name
+   prefix and measures diffs against a before-snapshot rather than absolute
+   values. *)
+let only_prefix prefix snap =
+  List.filter (fun (name, _) -> String.length name >= String.length prefix
+                                && String.sub name 0 (String.length prefix) = prefix)
+    snap
+
+(* --- Trace --- *)
+
+let test_span_nesting_and_timing () =
+  Trace.start ();
+  let r =
+    Trace.with_span "outer" (fun () ->
+        Trace.with_span "inner.a" (fun () -> Unix.sleepf 0.002) ;
+        Trace.with_span "inner.b" ~args:(fun () -> [ ("k", Json.Int 1) ]) (fun () -> ());
+        17)
+  in
+  Trace.stop ();
+  Alcotest.(check int) "with_span returns f's value" 17 r;
+  let spans = Trace.spans () in
+  Alcotest.(check int) "three spans" 3 (List.length spans);
+  let find name = List.find (fun (s : Trace.span) -> s.Trace.name = name) spans in
+  let outer = find "outer" and a = find "inner.a" and b = find "inner.b" in
+  Alcotest.(check int) "outer depth" 0 outer.Trace.depth;
+  Alcotest.(check int) "inner depth" 1 a.Trace.depth;
+  Alcotest.(check int) "inner depth" 1 b.Trace.depth;
+  (* Timing: never-negative durations, children within the parent span,
+     spans () sorted by start time. *)
+  List.iter
+    (fun (s : Trace.span) ->
+      Alcotest.(check bool) "ts >= 0" true (s.Trace.ts_us >= 0.);
+      Alcotest.(check bool) "dur >= 0" true (s.Trace.dur_us >= 0.))
+    spans;
+  Alcotest.(check bool) "inner.a inside outer" true
+    (a.Trace.ts_us >= outer.Trace.ts_us
+    && a.Trace.ts_us +. a.Trace.dur_us <= outer.Trace.ts_us +. outer.Trace.dur_us +. 1.);
+  Alcotest.(check bool) "inner.a before inner.b" true (a.Trace.ts_us <= b.Trace.ts_us);
+  Alcotest.(check bool) "sleep measured" true (a.Trace.dur_us >= 1000.);
+  Alcotest.(check bool) "sorted by start" true
+    (let rec mono = function
+       | (x : Trace.span) :: (y : Trace.span) :: rest ->
+           x.Trace.ts_us <= y.Trace.ts_us && mono (y :: rest)
+       | _ -> true
+     in
+     mono spans);
+  Alcotest.(check bool) "args recorded" true (b.Trace.args = [ ("k", Json.Int 1) ])
+
+let test_span_records_on_raise () =
+  Trace.start ();
+  (try Trace.with_span "raising" (fun () -> failwith "boom") with Failure _ -> ());
+  Trace.stop ();
+  Alcotest.(check int) "span recorded despite raise" 1 (List.length (Trace.spans ()))
+
+let test_trace_disabled_is_noop () =
+  Trace.start ();
+  Trace.stop ();
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  let evaluated = ref false in
+  let r =
+    Trace.with_span "ghost"
+      ~args:(fun () -> evaluated := true; [])
+      (fun () -> 3)
+  in
+  Alcotest.(check int) "still runs f" 3 r;
+  Alcotest.(check bool) "args thunk not evaluated when disabled" false !evaluated;
+  Alcotest.(check int) "no span recorded" 0 (List.length (Trace.spans ()))
+
+let test_trace_json_shape () =
+  Trace.start ();
+  Trace.with_span "one" (fun () -> ());
+  Trace.stop ();
+  let j = Trace.to_json () in
+  match Json.member "traceEvents" j with
+  | Some (Json.Arr [ ev ]) ->
+      Alcotest.(check (option string)) "ph" (Some "X")
+        (Option.bind (Json.member "ph" ev) Json.to_string_opt);
+      Alcotest.(check (option string)) "name" (Some "one")
+        (Option.bind (Json.member "name" ev) Json.to_string_opt);
+      Alcotest.(check bool) "round-trips through parser" true
+        (Json.parse (Json.to_string j) = Ok j)
+  | _ -> Alcotest.fail "expected a one-event traceEvents array"
+
+(* --- Metrics: handles --- *)
+
+let test_counter_gauge_histogram_basics () =
+  let c = Metrics.counter "test.basics.c" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  let g = Metrics.gauge "test.basics.g" in
+  Metrics.add_gauge g 1.5;
+  Metrics.add_gauge g 2.;
+  Alcotest.(check (float 1e-9)) "gauge adds" 3.5 (Metrics.gauge_value g);
+  Metrics.set_gauge g 7.;
+  Alcotest.(check (float 1e-9)) "gauge set" 7. (Metrics.gauge_value g);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics: \"test.basics.c\" is already registered as a counter")
+    (fun () -> ignore (Metrics.gauge "test.basics.c"))
+
+let test_histogram_buckets () =
+  let h = Metrics.histogram "test.hist.h" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 0.5;
+  Metrics.observe h 3.;
+  Metrics.observe h 0.;
+  (* non-positive -> bucket 0 *)
+  match List.assoc "test.hist.h" (Metrics.snapshot ()) with
+  | Metrics.Histogram { buckets; sum; count } ->
+      Alcotest.(check int) "count" 4 count;
+      Alcotest.(check (float 1e-9)) "sum" 4.0 sum;
+      Alcotest.(check int) "three distinct buckets" 3 (List.length buckets);
+      List.iter
+        (fun (i, n) ->
+          Alcotest.(check bool) "occupied" true (n > 0);
+          if i > 0 then
+            Alcotest.(check bool) "bucket bound positive" true
+              (Metrics.bucket_upper_bound i > 0.))
+        buckets
+  | _ -> Alcotest.fail "expected a histogram"
+
+(* --- Metrics: snapshot algebra --- *)
+
+let snap_a : Metrics.snapshot =
+  [ ("a.c", Metrics.Counter 2); ("a.g", Metrics.Gauge 1.5);
+    ("a.h", Metrics.Histogram { buckets = [ (33, 2) ]; sum = 3.; count = 2 }) ]
+
+let snap_b : Metrics.snapshot =
+  [ ("a.c", Metrics.Counter 5); ("b.c", Metrics.Counter 1) ]
+
+let snap_c : Metrics.snapshot =
+  [ ("a.g", Metrics.Gauge 0.5); ("a.h", Metrics.Histogram { buckets = [ (33, 1); (40, 1) ]; sum = 9.; count = 2 }) ]
+
+let snap_testable =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Metrics.to_text s))
+    ( = )
+
+let test_merge_associative () =
+  Alcotest.(check snap_testable) "associative"
+    (Metrics.merge (Metrics.merge snap_a snap_b) snap_c)
+    (Metrics.merge snap_a (Metrics.merge snap_b snap_c))
+
+let test_merge_commutative_disjoint () =
+  let disjoint : Metrics.snapshot = [ ("z.c", Metrics.Counter 9); ("z.g", Metrics.Gauge 2.) ] in
+  Alcotest.(check snap_testable) "commutative on disjoint names"
+    (Metrics.merge snap_a disjoint) (Metrics.merge disjoint snap_a);
+  (* and still commutative on overlapping names, because combination is
+     addition for every kind *)
+  Alcotest.(check snap_testable) "commutative on overlap"
+    (Metrics.merge snap_a snap_c) (Metrics.merge snap_c snap_a)
+
+let test_diff_inverts_merge () =
+  let merged = Metrics.merge snap_a snap_b in
+  Alcotest.(check snap_testable) "diff (a+b) b = a" snap_a (Metrics.diff merged snap_b);
+  Alcotest.(check snap_testable) "diff of equal snapshots is empty" []
+    (Metrics.diff snap_a snap_a)
+
+let test_absorb_adds_into_registry () =
+  let before = Metrics.snapshot () in
+  Metrics.absorb
+    [ ("test.absorb.c", Metrics.Counter 3);
+      ("test.absorb.h", Metrics.Histogram { buckets = [ (33, 1) ]; sum = 1.5; count = 1 }) ];
+  Metrics.absorb [ ("test.absorb.c", Metrics.Counter 4) ];
+  let d = only_prefix "test.absorb." (Metrics.diff (Metrics.snapshot ()) before) in
+  Alcotest.(check snap_testable) "absorbed twice"
+    [ ("test.absorb.c", Metrics.Counter 7);
+      ("test.absorb.h", Metrics.Histogram { buckets = [ (33, 1) ]; sum = 1.5; count = 1 }) ]
+    d
+
+(* --- Pool: worker metrics merge equals the inline run --- *)
+
+let pool_work x =
+  (* Touch a counter, a gauge, and a histogram so every kind crosses the
+     fork boundary. *)
+  Metrics.incr ~by:x (Metrics.counter "test.pool.c");
+  Metrics.add_gauge (Metrics.gauge "test.pool.g") (float_of_int x);
+  Metrics.observe (Metrics.histogram "test.pool.h") (float_of_int x);
+  x * x
+
+let run_pool_and_diff ~jobs inputs =
+  let before = Metrics.snapshot () in
+  let out =
+    Pool.map ~jobs ~f:pool_work inputs
+    |> Array.map (function
+         | Pool.Done v -> v
+         | Pool.Failed { reason; _ } -> Alcotest.failf "pool job failed: %s" reason)
+  in
+  (out, only_prefix "test.pool." (Metrics.diff (Metrics.snapshot ()) before))
+
+let test_worker_metrics_merge_matches_inline () =
+  let inputs = Array.init 20 (fun i -> i + 1) in
+  let out1, d1 = run_pool_and_diff ~jobs:1 inputs in
+  let out4, d4 = run_pool_and_diff ~jobs:4 inputs in
+  Alcotest.(check (array int)) "results identical" out1 out4;
+  Alcotest.(check bool) "some metrics recorded" true (d1 <> []);
+  Alcotest.(check snap_testable) "merged worker metrics equal inline totals" d1 d4
+
+(* --- Json: surrogate pairs (satellite 1) --- *)
+
+let test_surrogate_pair_decodes () =
+  Alcotest.(check bool) "U+1F600 from escaped pair" true
+    (Json.parse {|"\ud83d\ude00"|} = Ok (Json.Str "\xF0\x9F\x98\x80"));
+  (* mixed with BMP escapes and literal text *)
+  Alcotest.(check bool) "mixed" true
+    (Json.parse {|"a\u0041\ud83d\ude00z"|} = Ok (Json.Str "aA\xF0\x9F\x98\x80z"));
+  (* a string containing an astral code point round-trips *)
+  Alcotest.(check bool) "round-trip" true
+    (Json.parse (Json.to_string (Json.Str "\xF0\x9F\x98\x80"))
+    = Ok (Json.Str "\xF0\x9F\x98\x80"))
+
+let test_lone_surrogates_rejected () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "lone high" true (is_error (Json.parse {|"\ud83d"|}));
+  Alcotest.(check bool) "high + non-escape" true (is_error (Json.parse {|"\ud83dx"|}));
+  Alcotest.(check bool) "high + non-surrogate escape" true
+    (is_error (Json.parse {|"\ud83dA"|}));
+  Alcotest.(check bool) "lone low" true (is_error (Json.parse {|"\ude00"|}))
+
+(* --- Json: structural round-trip property (satellite 3) --- *)
+
+let json_gen =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Int i) (int_range (-1000000) 1000000);
+        map (fun f -> Json.Float f) (float_bound_inclusive 1e9);
+        map (fun s -> Json.Str s)
+          (oneofl [ ""; "plain"; "with \"quotes\""; "tab\tnewline\n"; "\xF0\x9F\x98\x80";
+                    "unicode \xC3\xA9"; "back\\slash" ]);
+      ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then scalar
+          else
+            oneof
+              [
+                scalar;
+                map (fun l -> Json.Arr l) (list_size (int_bound 4) (self (n / 2)));
+                map
+                  (fun kvs ->
+                    (* object keys must be distinct for structural round-trip *)
+                    Json.Obj (List.mapi (fun i (_, v) -> (Printf.sprintf "k%d" i, v)) kvs))
+                  (list_size (int_bound 4) (pair (return ()) (self (n / 2))));
+              ])
+        (min n 6))
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~name:"parse (to_string v) = Ok v" ~count:500 json_gen (fun v ->
+      Json.parse (Json.to_string v) = Ok v
+      && Json.parse (Json.to_string ~pretty:false v) = Ok v)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_json_roundtrip ] in
+  Alcotest.run "flowsched_obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and timing" `Quick test_span_nesting_and_timing;
+          Alcotest.test_case "records on raise" `Quick test_span_records_on_raise;
+          Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled_is_noop;
+          Alcotest.test_case "chrome trace json" `Quick test_trace_json_shape;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "handle basics" `Quick test_counter_gauge_histogram_basics;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "merge associative" `Quick test_merge_associative;
+          Alcotest.test_case "merge commutative" `Quick test_merge_commutative_disjoint;
+          Alcotest.test_case "diff inverts merge" `Quick test_diff_inverts_merge;
+          Alcotest.test_case "absorb" `Quick test_absorb_adds_into_registry;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "worker merge equals inline" `Quick
+            test_worker_metrics_merge_matches_inline;
+        ] );
+      ( "json-surrogates",
+        [
+          Alcotest.test_case "pair decodes" `Quick test_surrogate_pair_decodes;
+          Alcotest.test_case "lone surrogates rejected" `Quick test_lone_surrogates_rejected;
+        ] );
+      ("properties", qsuite);
+    ]

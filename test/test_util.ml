@@ -213,7 +213,20 @@ let test_percentile_out_of_range_q () =
   Alcotest.check_raises "q < 0 rejected" (Invalid_argument "Stats.percentile: q out of [0,1]")
     (fun () -> ignore (Stats.percentile sorted (-0.01)));
   Alcotest.check_raises "q > 1 rejected" (Invalid_argument "Stats.percentile: q out of [0,1]")
-    (fun () -> ignore (Stats.percentile sorted 1.01))
+    (fun () -> ignore (Stats.percentile sorted 1.01));
+  Alcotest.check_raises "NaN q rejected" (Invalid_argument "Stats.percentile: q out of [0,1]")
+    (fun () -> ignore (Stats.percentile sorted nan))
+
+let test_nan_inputs_raise () =
+  (* NaN poisons polymorphic sorts silently; the stats entry points reject
+     it loudly instead. *)
+  Alcotest.check_raises "summarize NaN" (Invalid_argument "Stats.summarize: NaN input")
+    (fun () -> ignore (Stats.summarize [| 1.; nan; 3. |]));
+  Alcotest.check_raises "percentile NaN" (Invalid_argument "Stats.percentile: NaN input")
+    (fun () -> ignore (Stats.percentile [| 1.; nan |] 0.5));
+  (* negative values and infinities are still fine *)
+  let s = Stats.summarize [| -2.; 0.; 2. |] in
+  check_float "mean with negatives" 0. s.Stats.mean
 
 let test_percentile_single_sample () =
   let sorted = [| 7.5 |] in
@@ -297,7 +310,14 @@ let test_json_parse_errors () =
   fails "nul";
   fails {|"unterminated|};
   fails "1.2.3";
-  fails "[1] trailing"
+  fails "[1] trailing";
+  (* \u escapes: lone surrogates are invalid, pairs decode to 4-byte UTF-8 *)
+  fails {|"\ud800"|};
+  fails {|"\udc00"|};
+  fails {|"\ud83dxy"|};
+  fails {|"\ud83dA"|};
+  Alcotest.(check bool) "surrogate pair decodes to U+1F600" true
+    (Json.parse {|"\ud83d\ude00"|} = Ok (Json.Str "\xF0\x9F\x98\x80"))
 
 let test_json_accessors () =
   Alcotest.(check (option int)) "member int" (Some 42)
@@ -427,6 +447,7 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "percentile empty raises" `Quick test_percentile_empty_raises;
           Alcotest.test_case "percentile bad q raises" `Quick test_percentile_out_of_range_q;
+          Alcotest.test_case "NaN inputs raise" `Quick test_nan_inputs_raise;
           Alcotest.test_case "percentile single sample" `Quick test_percentile_single_sample;
           Alcotest.test_case "percentile p0/p100" `Quick test_percentile_extremes_are_min_max;
         ] );
