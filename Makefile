@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke bench-lp obs-smoke clean
+.PHONY: build test bench bench-smoke bench-lp obs-smoke chaos-smoke clean
 
 build:
 	dune build
@@ -41,6 +41,38 @@ obs-smoke:
 	  || (echo "obs-smoke: counter totals diverge between --jobs 1 and --jobs 4" && exit 1)
 	@rm -f _obs_sweep1.json _obs_sweep4.json _obs_metrics1.txt _obs_metrics4.txt \
 	  _obs_c1.txt _obs_c4.txt
+
+# Resilience gate: the same sweep grid three ways — fault-free, under
+# deterministic chaos injection (must converge to the same artifact given a
+# retry budget), and SIGKILLed mid-run then resumed from its checkpoint
+# (must also match).  Only the timing fields (wall_clock_s, phaseN_seconds)
+# legitimately differ, so they are filtered before diffing.
+CHAOS_GRID = --kinds poisson,uniform -m 4 --rates 2 --rounds 4,5 --seeds 1,2 \
+  --policies maxcard,minrtime --lp --jobs 2
+CHAOS_FILTER = grep -v 'wall_clock_s\|phase1_seconds\|phase2_seconds'
+
+chaos-smoke: build
+	@rm -f _chaos_ref.json _chaos_run.json _chaos_resume.json _chaos_ckpt.jsonl _chaos_*.f
+	_build/default/bin/main.exe sweep $(CHAOS_GRID) --out _chaos_ref.json 2>/dev/null
+	_build/default/bin/main.exe sweep $(CHAOS_GRID) --chaos 11 --retries 10 \
+	  --timeout 5 --out _chaos_run.json 2>/dev/null
+	@$(CHAOS_FILTER) _chaos_ref.json > _chaos_ref.f
+	@$(CHAOS_FILTER) _chaos_run.json > _chaos_run.f
+	@diff _chaos_ref.f _chaos_run.f >/dev/null \
+	  && echo "chaos-smoke: chaos run converged to the fault-free artifact" \
+	  || (echo "chaos-smoke: chaos artifact diverges from fault-free run" && exit 1)
+	@_build/default/bin/main.exe sweep $(CHAOS_GRID) \
+	  --checkpoint _chaos_ckpt.jsonl --out _chaos_resume.json 2>/dev/null & \
+	pid=$$!; tries=0; \
+	while [ ! -s _chaos_ckpt.jsonl ] && [ $$tries -lt 200 ]; do sleep 0.05; tries=$$((tries+1)); done; \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; true
+	_build/default/bin/main.exe sweep $(CHAOS_GRID) \
+	  --checkpoint _chaos_ckpt.jsonl --resume --out _chaos_resume.json 2>/dev/null
+	@$(CHAOS_FILTER) _chaos_resume.json > _chaos_resume.f
+	@diff _chaos_ref.f _chaos_resume.f >/dev/null \
+	  && echo "chaos-smoke: SIGKILL + resume reproduced the artifact" \
+	  || (echo "chaos-smoke: resumed artifact diverges" && exit 1)
+	@rm -f _chaos_ref.json _chaos_run.json _chaos_resume.json _chaos_ckpt.jsonl _chaos_*.f
 
 # Cold-vs-warm simplex pipeline bench on representative figure-cell LPs.
 # Exits non-zero if any warm-started solve disagrees with the cold objective

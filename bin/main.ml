@@ -308,10 +308,19 @@ let figures_cmd =
 
 (* ----- sweep ----- *)
 
-let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs out trace
-    metrics =
+let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs timeout
+    retries chaos checkpoint resume out trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
   let policies = List.map (fun name -> policy_of_name name 1) policy_names in
+  if resume && checkpoint = None then begin
+    Printf.eprintf "error: --resume requires --checkpoint FILE\n";
+    exit 1
+  end;
+  let faults = Option.map (fun seed -> Flowsched_exec.Faults.chaos ~seed) chaos in
+  (* Chaos without a timeout would let an injected hang wedge the run. *)
+  let timeout =
+    match (timeout, faults) with None, Some _ -> Some 10. | t, _ -> t
+  in
   List.iter
     (fun kind ->
       if not (List.mem kind Flowsched_sim.Experiment.sweep_workloads) then begin
@@ -351,11 +360,33 @@ let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs o
   Printf.eprintf "sweep: %d cells x %d policies, %d workers\n%!" (List.length cells)
     (List.length policies) jobs;
   let t0 = Unix.gettimeofday () in
+  let progress msg = Printf.eprintf "  %s\n%!" msg in
   let results =
-    Flowsched_obs.Trace.with_span "sweep.run" (fun () ->
-        Flowsched_sim.Experiment.run_sweep ~policies
-          ~progress:(fun msg -> Printf.eprintf "  %s\n%!" msg)
-          ~jobs cells)
+    try
+      Flowsched_obs.Trace.with_span "sweep.run" (fun () ->
+          match checkpoint with
+          | None ->
+              Flowsched_sim.Experiment.run_sweep ~policies ~progress ~jobs ?timeout ?retries
+                ?faults cells
+          | Some path ->
+              let ckpt = Flowsched_sim.Checkpoint.open_ ~path ~resume in
+              if resume then
+                Printf.eprintf "  resuming: %d of %d cells already checkpointed\n%!"
+                  (Flowsched_sim.Checkpoint.loaded ckpt)
+                  (List.length cells);
+              Fun.protect
+                ~finally:(fun () -> Flowsched_sim.Checkpoint.close ckpt)
+                (fun () ->
+                  Flowsched_sim.Checkpoint.run_sweep ~policies ~progress ~jobs ?timeout
+                    ?retries ?faults ckpt cells))
+    with Flowsched_exec.Pool.Interrupted ->
+      Printf.eprintf "interrupted: pool drained and workers reaped\n";
+      (match checkpoint with
+      | Some path ->
+          Printf.eprintf "  completed cells are saved; rerun with --checkpoint %s --resume\n"
+            path
+      | None -> Printf.eprintf "  rerun with --checkpoint FILE to make progress durable\n");
+      exit 130
   in
   (* The metrics block is opt-in: its timing gauges are nondeterministic and
      would break the byte-identical-across---jobs artifact guarantee. *)
@@ -416,6 +447,41 @@ let sweep_cmd =
       & info [ "jobs" ] ~docv:"N"
           ~doc:"Worker processes for the cell grid (default: detected core count).")
   in
+  let timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Per-cell attempt timeout in seconds (default: none; 10s under --chaos).")
+  in
+  let retries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry budget per cell beyond the first attempt (default 1).")
+  in
+  let chaos =
+    Arg.(
+      value & opt (some int) None
+      & info [ "chaos" ] ~docv:"SEED"
+          ~doc:
+            "Inject the stock deterministic fault plan (crashes, hangs, transient raises, \
+             corrupt frames) seeded by SEED. Testing aid: with enough --retries the \
+             artifact is identical to a fault-free run.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Append each completed cell to FILE (JSONL) as it settles, so an interrupted \
+             run can be resumed with --resume.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Skip cells already present in the --checkpoint file instead of truncating it.")
+  in
   let out =
     Arg.(
       value & opt string "sweep.json"
@@ -428,7 +494,8 @@ let sweep_cmd =
           write a machine-readable JSON artifact.")
     Term.(
       const sweep $ kinds $ m $ rates $ rounds_list $ max_demand $ seeds $ policy_names
-      $ with_lp $ jobs $ out $ trace_term $ metrics_term)
+      $ with_lp $ jobs $ timeout $ retries $ chaos $ checkpoint $ resume $ out $ trace_term
+      $ metrics_term)
 
 (* ----- check-trace ----- *)
 

@@ -1,0 +1,47 @@
+module Metrics = Flowsched_obs.Metrics
+
+type kind = Crash | Hang | Raise | Corrupt
+
+type plan = { seed : int; crash : float; hang : float; raise_ : float; corrupt : float }
+
+let make ?(crash = 0.) ?(hang = 0.) ?(raise_ = 0.) ?(corrupt = 0.) ~seed () =
+  let ps = [ crash; hang; raise_; corrupt ] in
+  if List.exists (fun p -> p < 0. || not (Float.is_finite p)) ps then
+    invalid_arg "Faults.make: probabilities must be finite and non-negative";
+  if List.fold_left ( +. ) 0. ps > 1. then
+    invalid_arg "Faults.make: probabilities must sum to at most 1";
+  { seed; crash; hang; raise_; corrupt }
+
+let chaos ~seed = make ~crash:0.08 ~hang:0.03 ~raise_:0.12 ~corrupt:0.08 ~seed ()
+
+(* The decision PRNG is seeded from (plan seed, job, attempt) alone;
+   Prng.create pushes the mixed integer through splitmix64, so nearby
+   (job, attempt) pairs get decorrelated draws. *)
+let decide plan ~job ~attempt =
+  let g = Flowsched_util.Prng.create (plan.seed + (1_000_003 * job) + (7_919 * attempt)) in
+  let u = Flowsched_util.Prng.float g in
+  if u < plan.crash then Some Crash
+  else if u < plan.crash +. plan.hang then Some Hang
+  else if u < plan.crash +. plan.hang +. plan.raise_ then Some Raise
+  else if u < plan.crash +. plan.hang +. plan.raise_ +. plan.corrupt then Some Corrupt
+  else None
+
+let kind_name = function
+  | Crash -> "crash"
+  | Hang -> "hang"
+  | Raise -> "raise"
+  | Corrupt -> "corrupt"
+
+let reason kind ~job ~attempt =
+  Printf.sprintf "injected %s fault (job %d attempt %d)" (kind_name kind) job attempt
+
+let c_crash = Metrics.counter "faults.injected_crash"
+let c_hang = Metrics.counter "faults.injected_hang"
+let c_raise = Metrics.counter "faults.injected_raise"
+let c_corrupt = Metrics.counter "faults.injected_corrupt"
+
+let note_injected = function
+  | Crash -> Metrics.incr c_crash
+  | Hang -> Metrics.incr c_hang
+  | Raise -> Metrics.incr c_raise
+  | Corrupt -> Metrics.incr c_corrupt

@@ -1,0 +1,68 @@
+(** Deterministic fault injection for the worker pool.
+
+    A {!plan} assigns, to every [(job, attempt)] pair, either no fault or
+    one of four fault kinds, by hashing the pair (plus the plan seed)
+    through {!Flowsched_util.Prng} and comparing a uniform draw against the
+    plan's probabilities.  Because the decision depends only on
+    [(seed, job, attempt)] — never on scheduling, worker identity, or
+    wall-clock — a chaos run is exactly reproducible: rerunning the same
+    plan over the same inputs injects the same faults at the same points,
+    and the pool's outcome array is a deterministic function of the plan.
+
+    How each kind manifests in a forked worker ({!Pool.map} with
+    [jobs >= 2]):
+
+    - {!Crash}: the worker [_exit]s without replying — the parent sees EOF
+      on the response pipe and treats it as a worker crash;
+    - {!Hang}: the worker sleeps forever — the parent's per-attempt
+      [timeout] must be set, or the pool will wait indefinitely;
+    - {!Raise}: the attempt fails with a deterministic transient exception
+      message (the worker stays alive);
+    - {!Corrupt}: the worker computes the real result but flips a byte of
+      the marshalled payload after checksumming, so the parent's CRC check
+      rejects the frame and retries the job as if the worker had crashed.
+
+    On the inline path ([jobs <= 1]) there is no worker process to kill,
+    hang, or corrupt, so every injected fault degrades to a transient
+    failure of that attempt with the same {!reason} string — the retry and
+    [Failed] accounting is identical, only the reason text distinguishes
+    the mode. *)
+
+type kind = Crash | Hang | Raise | Corrupt
+
+type plan
+(** An immutable fault plan: a seed plus per-kind injection probabilities. *)
+
+val make :
+  ?crash:float ->
+  ?hang:float ->
+  ?raise_:float ->
+  ?corrupt:float ->
+  seed:int ->
+  unit ->
+  plan
+(** [make ~seed ()] builds a plan; each probability defaults to [0.].
+    Raises [Invalid_argument] if any probability is negative or their sum
+    exceeds [1.]. *)
+
+val chaos : seed:int -> plan
+(** The canonical moderate chaos mix used by [flowsched sweep --chaos] and
+    [make chaos-smoke]: crash 0.08, hang 0.03, transient raise 0.12,
+    corrupt frame 0.08.  Requires a per-attempt [timeout] (hang faults). *)
+
+val decide : plan -> job:int -> attempt:int -> kind option
+(** The fault (if any) this plan injects into attempt [attempt] (1-based)
+    of job [job].  Pure: same arguments, same answer. *)
+
+val reason : kind -> job:int -> attempt:int -> string
+(** The deterministic failure-reason string reported for an injected fault
+    on the inline path (and, for {!Raise}, from a live worker too). *)
+
+val kind_name : kind -> string
+(** ["crash" | "hang" | "raise" | "corrupt"]. *)
+
+val note_injected : kind -> unit
+(** Count one injection under the ["faults.injected_<kind>"] metric in the
+    {!Flowsched_obs.Metrics} registry.  The pool calls this in the parent
+    at dispatch time (the decision is deterministic, so the parent knows
+    what the worker will do even when the worker dies before reporting). *)

@@ -6,6 +6,9 @@ let c_jobs_failed = Metrics.counter "pool.jobs_failed"
 let c_retries = Metrics.counter "pool.retries"
 let c_workers_spawned = Metrics.counter "pool.workers_spawned"
 let c_worker_deaths = Metrics.counter "pool.worker_deaths"
+let c_workers_recycled = Metrics.counter "pool.workers_recycled"
+let c_frames_corrupt = Metrics.counter "pool.frames_corrupt"
+let g_backoff_seconds = Metrics.gauge "pool.backoff_seconds"
 let h_job_seconds = Metrics.histogram "pool.job_seconds"
 
 type 'b outcome =
@@ -18,13 +21,17 @@ type event =
   | Job_retried of { job : int; attempt : int; reason : string }
   | Job_failed of { job : int; attempts : int; reason : string }
 
+exception Interrupted
+
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
-(* Wire protocol: 4-byte big-endian length + Marshal payload.          *)
+(* Wire protocol: 8-byte header (4-byte big-endian length + 4-byte      *)
+(* big-endian CRC-32 of the payload) + Marshal payload.                 *)
 (* ------------------------------------------------------------------ *)
 
 exception Worker_eof
+exception Frame_corrupt
 
 let rec restart f x = try f x with Unix.Unix_error (Unix.EINTR, _, _) -> restart f x
 
@@ -44,24 +51,59 @@ let read_exact fd bytes off len =
     got := !got + k
   done
 
+let frame_header payload =
+  let header = Bytes.create 8 in
+  Bytes.set_int32_be header 0 (Int32.of_int (Bytes.length payload));
+  Bytes.set_int32_be header 4 (Int32.of_int (Flowsched_util.Crc.bytes payload));
+  header
+
 let write_frame fd v =
   let payload = Marshal.to_bytes v [ Marshal.Closures ] in
-  let header = Bytes.create 4 in
-  Bytes.set_int32_be header 0 (Int32.of_int (Bytes.length payload));
+  write_all fd (frame_header payload);
+  write_all fd payload
+
+(* A deliberately damaged frame (fault injection): the checksum is taken
+   over the real payload, then a byte is flipped, so the receiver's CRC
+   check must reject it. *)
+let write_corrupt_frame fd v =
+  let payload = Marshal.to_bytes v [ Marshal.Closures ] in
+  let header = frame_header payload in
+  Bytes.set payload 0 (Char.chr (Char.code (Bytes.get payload 0) lxor 0xFF));
   write_all fd header;
   write_all fd payload
 
 let read_frame fd =
-  let header = Bytes.create 4 in
-  read_exact fd header 0 4;
+  let header = Bytes.create 8 in
+  read_exact fd header 0 8;
   let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  let crc = Int32.to_int (Bytes.get_int32_be header 4) land 0xFFFFFFFF in
   if len < 0 then raise Worker_eof;
   let payload = Bytes.create len in
   read_exact fd payload 0 len;
+  if Flowsched_util.Crc.bytes payload <> crc then raise Frame_corrupt;
   Marshal.from_bytes payload 0
 
-(* Parent -> worker messages. *)
-type 'a request = Job of { job : int; seed : int; payload : 'a } | Quit
+(* Parent -> worker messages.  The fault decision is made in the parent
+   (it is a pure function of the plan and (job, attempt)) and shipped with
+   the request, so workers stay plan-agnostic. *)
+type 'a request =
+  | Job of { job : int; attempt : int; seed : int; fault : Faults.kind option; payload : 'a }
+  | Quit
+
+(* ------------------------------------------------------------------ *)
+(* Retry backoff: exponential in the attempt number with deterministic   *)
+(* jitter drawn from (base_seed, job, attempt), capped at 60s.           *)
+(* ------------------------------------------------------------------ *)
+
+let backoff_delay ~backoff ~base_seed ~job ~attempt =
+  if backoff <= 0. then 0.
+  else begin
+    let g =
+      Flowsched_util.Prng.create (base_seed + (1_000_033 * job) + (104_729 * attempt))
+    in
+    let jitter = 0.5 +. Flowsched_util.Prng.float g in
+    Float.min 60. (backoff *. Float.of_int (1 lsl min 20 (attempt - 1))) *. jitter
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Workers                                                             *)
@@ -72,6 +114,7 @@ type worker = {
   to_w : Unix.file_descr;
   from_w : Unix.file_descr;
   mutable current : (int * int * float) option;  (* job, attempt, start time *)
+  mutable served : int;  (* completed requests, for max-jobs recycling *)
 }
 
 let seed_for ~base_seed job = base_seed + (1000003 * (job + 1))
@@ -93,22 +136,39 @@ let spawn ~f ~others =
           (try Unix.close w.to_w with Unix.Unix_error _ -> ());
           try Unix.close w.from_w with Unix.Unix_error _ -> ())
         others;
+      (* The parent's graceful-shutdown handlers only set a parent-side
+         flag; a worker inheriting them would silently swallow signals
+         addressed to it, so restore the defaults. *)
+      List.iter
+        (fun s -> try ignore (Sys.signal s Sys.Signal_default) with Invalid_argument _ -> ())
+        [ Sys.sigint; Sys.sigterm ];
       (* Spans die with the worker, so recording them is pure overhead;
          metrics instead travel back as per-job registry diffs in the
          result frames (the inherited pre-fork registry state cancels in
          the diff). *)
       Trace.stop ();
       let rec serve () =
-        match (try read_frame job_r with Worker_eof -> Quit) with
+        match (try read_frame job_r with Worker_eof | Frame_corrupt -> Quit) with
         | Quit -> ()
-        | Job { job; seed; payload } ->
+        | Job { job; attempt; seed; fault; payload } ->
+            (match fault with
+            | Some Faults.Crash -> Unix._exit 70
+            | Some Faults.Hang ->
+                while true do
+                  Unix.sleep 3600
+                done
+            | _ -> ());
             Random.init seed;
             let before = Metrics.snapshot () in
             let result =
-              try Ok (f payload)
-              with e -> Error (Printexc.to_string e)
+              match fault with
+              | Some Faults.Raise -> Error (Faults.reason Faults.Raise ~job ~attempt)
+              | _ -> ( try Ok (f payload) with e -> Error (Printexc.to_string e))
             in
-            write_frame res_w (job, result, Metrics.diff (Metrics.snapshot ()) before);
+            let frame = (job, result, Metrics.diff (Metrics.snapshot ()) before) in
+            (match fault with
+            | Some Faults.Corrupt -> write_corrupt_frame res_w frame
+            | _ -> write_frame res_w frame);
             serve ()
       in
       (try serve () with _ -> ());
@@ -116,7 +176,7 @@ let spawn ~f ~others =
   | pid ->
       Unix.close job_r;
       Unix.close res_w;
-      { pid; to_w = job_w; from_w = res_r; current = None }
+      { pid; to_w = job_w; from_w = res_r; current = None; served = 0 }
 
 let reap w =
   (try Unix.close w.to_w with Unix.Unix_error _ -> ());
@@ -129,34 +189,68 @@ let kill_and_reap w =
   reap w
 
 (* ------------------------------------------------------------------ *)
-(* Sequential fallback (jobs <= 1): same retry semantics, no forking.   *)
+(* Sequential fallback (jobs <= 1): same retry/backoff/fault semantics,  *)
+(* no forking.  A timeout cannot interrupt [f] here (there is no worker  *)
+(* to kill), but an attempt that comes back over budget is discarded and *)
+(* counted as "timed out", matching worker semantics post hoc.           *)
 (* ------------------------------------------------------------------ *)
 
-let run_inline ~retries ~base_seed ~progress ~f inputs =
+let run_inline ~timeout ~retries ~base_seed ~backoff ~faults ~interrupted ~progress ~on_result
+    ~f inputs =
   Array.mapi
     (fun job input ->
       let rec attempt k =
+        if !interrupted then raise Interrupted;
         progress (Job_started { job; attempt = k });
+        let fault =
+          match faults with
+          | None -> None
+          | Some plan ->
+              let d = Faults.decide plan ~job ~attempt:k in
+              Option.iter Faults.note_injected d;
+              d
+        in
         let t0 = Unix.gettimeofday () in
         Random.init (seed_for ~base_seed job);
-        match f input with
-        | v ->
-            let elapsed = Unix.gettimeofday () -. t0 in
+        let result =
+          match fault with
+          | Some kind -> Error (Faults.reason kind ~job ~attempt:k)
+          | None -> ( match f input with v -> Ok v | exception e -> Error (Printexc.to_string e))
+        in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let result =
+          (* Post-hoc wall-clock enforcement: inline mode cannot SIGKILL a
+             slow attempt, but it must not *accept* one the forked pool
+             would have killed. *)
+          match (result, timeout) with
+          | Ok _, Some t when elapsed >= t -> Error (Printf.sprintf "timed out after %.3gs" t)
+          | _ -> result
+        in
+        match result with
+        | Ok v ->
             Metrics.incr c_jobs_done;
             Metrics.observe h_job_seconds elapsed;
             progress (Job_done { job; attempt = k; elapsed });
-            Done v
-        | exception e ->
-            let reason = Printexc.to_string e in
+            let outcome = Done v in
+            on_result job outcome;
+            outcome
+        | Error reason ->
             if k <= retries then begin
               Metrics.incr c_retries;
               progress (Job_retried { job; attempt = k; reason });
+              let delay = backoff_delay ~backoff ~base_seed ~job ~attempt:k in
+              if delay > 0. then begin
+                Metrics.add_gauge g_backoff_seconds delay;
+                (try Unix.sleepf delay with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+              end;
               attempt (k + 1)
             end
             else begin
               Metrics.incr c_jobs_failed;
               progress (Job_failed { job; attempts = k; reason });
-              Failed { attempts = k; reason }
+              let outcome = Failed { attempts = k; reason } in
+              on_result job outcome;
+              outcome
             end
       in
       attempt 1)
@@ -166,26 +260,38 @@ let run_inline ~retries ~base_seed ~progress ~f inputs =
 (* Parallel dispatch loop                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
+let run_forked ~jobs ~timeout ~retries ~base_seed ~backoff ~faults ~max_jobs_per_worker
+    ~interrupted ~progress ~on_result ~f inputs =
   let n = Array.length inputs in
   let results = Array.make n None in
   let completed = ref 0 in
   let pending = Queue.create () in
+  (* Retry attempts serving a backoff delay wait here as
+     (ready_at, job, attempt), promoted into [pending] when due. *)
+  let delayed = ref [] in
   for job = 0 to n - 1 do
     Queue.add (job, 1) pending
   done;
   let workers = ref [] in
+  let have_work () = (not (Queue.is_empty pending)) || !delayed <> [] in
   let settle job attempt reason =
     if attempt <= retries then begin
       Metrics.incr c_retries;
       progress (Job_retried { job; attempt; reason });
-      Queue.add (job, attempt + 1) pending
+      let delay = backoff_delay ~backoff ~base_seed ~job ~attempt in
+      if delay > 0. then begin
+        Metrics.add_gauge g_backoff_seconds delay;
+        delayed := (Unix.gettimeofday () +. delay, job, attempt + 1) :: !delayed
+      end
+      else Queue.add (job, attempt + 1) pending
     end
     else begin
       Metrics.incr c_jobs_failed;
       progress (Job_failed { job; attempts = attempt; reason });
-      results.(job) <- Some (Failed { attempts = attempt; reason });
-      incr completed
+      let outcome = Failed { attempts = attempt; reason } in
+      results.(job) <- Some outcome;
+      incr completed;
+      on_result job outcome
     end
   in
   let spawn_worker () =
@@ -204,15 +310,46 @@ let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
     | Some (job, attempt, _) -> settle job attempt reason
     | None -> ());
     retire w;
-    if not (Queue.is_empty pending) then spawn_worker ()
+    if have_work () then spawn_worker ()
+  in
+  (* Recycling: after [max_jobs_per_worker] served requests the worker is
+     drained gracefully (Quit + reap) and replaced — bounds the blast
+     radius of slow leaks in long chaos runs. *)
+  let maybe_recycle w =
+    match max_jobs_per_worker with
+    | Some k when w.served >= k && w.current = None ->
+        Metrics.incr c_workers_recycled;
+        workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
+        (try write_frame w.to_w Quit with Worker_eof | Unix.Unix_error _ | Sys_error _ -> ());
+        reap w;
+        if have_work () then spawn_worker ()
+    | _ -> ()
   in
   let dispatch w =
     let job, attempt = Queue.pop pending in
+    let fault =
+      match faults with
+      | None -> None
+      | Some plan ->
+          let d = Faults.decide plan ~job ~attempt in
+          Option.iter Faults.note_injected d;
+          d
+    in
     w.current <- Some (job, attempt, Unix.gettimeofday ());
     progress (Job_started { job; attempt });
-    try write_frame w.to_w (Job { job; seed = seed_for ~base_seed job; payload = inputs.(job) })
+    try
+      write_frame w.to_w
+        (Job { job; attempt; seed = seed_for ~base_seed job; fault; payload = inputs.(job) })
     with Worker_eof | Unix.Unix_error _ | Sys_error _ ->
       handle_dead w "worker crashed (pipe closed before dispatch)"
+  in
+  (* A signal must abort select/sleep promptly instead of being swallowed
+     by the EINTR-restart wrapper. *)
+  let rec select_interruptible fds tmo =
+    if !interrupted then raise Interrupted;
+    try Unix.select fds [] [] tmo
+    with Unix.Unix_error (Unix.EINTR, _, _) ->
+      if !interrupted then raise Interrupted else select_interruptible fds tmo
   in
   let previous_sigpipe =
     (* A worker dying between frames must surface as EPIPE, not kill us. *)
@@ -234,30 +371,56 @@ let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
         spawn_worker ()
       done;
       while !completed < n do
+        if !interrupted then raise Interrupted;
+        let now = Unix.gettimeofday () in
+        delayed :=
+          List.filter
+            (fun (ready_at, job, attempt) ->
+              if ready_at <= now then begin
+                Queue.add (job, attempt) pending;
+                false
+              end
+              else true)
+            !delayed;
         List.iter (fun w -> if w.current = None && not (Queue.is_empty pending) then dispatch w) !workers;
         let busy = List.filter (fun w -> w.current <> None) !workers in
         if busy = [] then begin
-          (* Every incomplete job is pending but no worker survived to take
-             it (e.g. all crashed while the queue drained): refill. *)
-          if Queue.is_empty pending then
-            invalid_arg "Pool.map: internal accounting error (no busy worker, no pending job)";
-          if !workers = [] then spawn_worker ()
+          if not (Queue.is_empty pending) then begin
+            (* Every incomplete job is pending but no worker survived to
+               take it (e.g. all crashed while the queue drained): refill. *)
+            if !workers = [] then spawn_worker ()
+          end
+          else begin
+            match !delayed with
+            | [] ->
+                invalid_arg "Pool.map: internal accounting error (no busy worker, no pending job)"
+            | ds ->
+                (* Only backoff delays remain; nothing to select on. *)
+                let ready_at = List.fold_left (fun acc (t, _, _) -> min acc t) infinity ds in
+                if ready_at > now then begin
+                  try Unix.sleepf (ready_at -. now)
+                  with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                end
+          end
         end
         else begin
-          let now = Unix.gettimeofday () in
           let select_timeout =
-            match timeout with
-            | None -> -1.
-            | Some t ->
-                List.fold_left
-                  (fun acc w ->
-                    match w.current with
-                    | Some (_, _, start) -> min acc (max 0. (start +. t -. now))
-                    | None -> acc)
-                  t busy
+            let deadlines =
+              (match timeout with
+              | None -> []
+              | Some t ->
+                  List.filter_map
+                    (fun w ->
+                      match w.current with Some (_, _, start) -> Some (start +. t) | None -> None)
+                    busy)
+              @ List.map (fun (ready_at, _, _) -> ready_at) !delayed
+            in
+            match deadlines with
+            | [] -> -1.
+            | ds -> max 0. (List.fold_left min infinity ds -. now)
           in
           let readable, _, _ =
-            restart (fun () -> Unix.select (List.map (fun w -> w.from_w) busy) [] [] select_timeout) ()
+            select_interruptible (List.map (fun w -> w.from_w) busy) select_timeout
           in
           List.iter
             (fun fd ->
@@ -274,12 +437,16 @@ let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
                         | Some (_, attempt, start) -> (attempt, Unix.gettimeofday () -. start)
                         | None -> (1, 0.)
                       in
-                      results.(job) <- Some (Done value);
+                      let outcome = Done value in
+                      results.(job) <- Some outcome;
                       incr completed;
                       Metrics.incr c_jobs_done;
                       Metrics.observe h_job_seconds elapsed;
                       w.current <- None;
-                      progress (Job_done { job; attempt; elapsed })
+                      w.served <- w.served + 1;
+                      progress (Job_done { job; attempt; elapsed });
+                      on_result job outcome;
+                      maybe_recycle w
                   | job, Error reason, worker_metrics ->
                       (* A failed attempt's increments land in the registry
                          too, matching inline-mode semantics. *)
@@ -288,7 +455,15 @@ let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
                         match w.current with Some (_, attempt, _) -> attempt | None -> 1
                       in
                       w.current <- None;
-                      settle job attempt reason
+                      w.served <- w.served + 1;
+                      settle job attempt reason;
+                      maybe_recycle w
+                  | exception Frame_corrupt ->
+                      (* The worker is alive but its frame failed the CRC
+                         check: attribute the damage to the worker and
+                         replace it, never letting the bytes near Marshal. *)
+                      Metrics.incr c_frames_corrupt;
+                      handle_dead w "worker sent corrupt result frame (crc mismatch)"
                   | exception (Worker_eof | Unix.Unix_error _ | End_of_file | Failure _) ->
                       handle_dead w "worker crashed (connection lost mid-job)"))
             readable;
@@ -307,16 +482,46 @@ let run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs =
       done;
       Array.map (function Some r -> r | None -> assert false) results)
 
-let map ?jobs ?timeout ?(retries = 1) ?(base_seed = 0) ?(progress = fun _ -> ()) ~f inputs =
+let backoff_delay_for_tests = backoff_delay
+
+let map ?jobs ?timeout ?(retries = 1) ?(base_seed = 0) ?(backoff = 0.) ?faults
+    ?max_jobs_per_worker ?(progress = fun _ -> ()) ?(on_result = fun _ _ -> ()) ~f inputs =
   let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  (match max_jobs_per_worker with
+  | Some k when k < 1 -> invalid_arg "Pool.map: max_jobs_per_worker must be >= 1"
+  | _ -> ());
   if Array.length inputs = 0 then [||]
-  else
-    Trace.with_span "pool.map"
-      ~args:(fun () ->
-        [
-          ("jobs", Flowsched_util.Json.Int jobs);
-          ("inputs", Flowsched_util.Json.Int (Array.length inputs));
-        ])
+  else begin
+    (* Graceful shutdown: SIGINT/SIGTERM set a flag checked at every loop
+       step; the pool drains and reaps all children (the forked loop's
+       finally block) before re-raising as Interrupted. *)
+    let interrupted = ref false in
+    let install s =
+      try Some (s, Sys.signal s (Sys.Signal_handle (fun _ -> interrupted := true)))
+      with Invalid_argument _ | Sys_error _ -> None
+    in
+    let restore = function
+      | Some (s, behavior) -> ( try ignore (Sys.signal s behavior) with Invalid_argument _ -> ())
+      | None -> ()
+    in
+    let prev_int = install Sys.sigint in
+    let prev_term = install Sys.sigterm in
+    Fun.protect
+      ~finally:(fun () ->
+        restore prev_int;
+        restore prev_term)
       (fun () ->
-        if jobs = 1 then run_inline ~retries ~base_seed ~progress ~f inputs
-        else run_forked ~jobs ~timeout ~retries ~base_seed ~progress ~f inputs)
+        Trace.with_span "pool.map"
+          ~args:(fun () ->
+            [
+              ("jobs", Flowsched_util.Json.Int jobs);
+              ("inputs", Flowsched_util.Json.Int (Array.length inputs));
+            ])
+          (fun () ->
+            if jobs = 1 then
+              run_inline ~timeout ~retries ~base_seed ~backoff ~faults ~interrupted ~progress
+                ~on_result ~f inputs
+            else
+              run_forked ~jobs ~timeout ~retries ~base_seed ~backoff ~faults
+                ~max_jobs_per_worker ~interrupted ~progress ~on_result ~f inputs))
+  end

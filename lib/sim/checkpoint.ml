@@ -1,0 +1,129 @@
+open Flowsched_util
+
+type t = {
+  path : string;
+  entries : (string, Json.t) Hashtbl.t;  (* key -> recorded result object *)
+  oc : Out_channel.t;
+  mutable loaded : int;
+}
+
+(* Canonical cell identities.  Floats print as hex (%h): exact, so a rate
+   of 2.0 and 2.0000000000000004 never collide into one key. *)
+let sweep_key (s : Experiment.sweep_config) =
+  Printf.sprintf "sweep|%s|m=%d|rate=%h|T=%d|dmax=%d|seed=%d|lp=%b" s.Experiment.workload
+    s.Experiment.ports s.Experiment.arrival_rate s.Experiment.horizon s.Experiment.max_demand
+    s.Experiment.sweep_seed s.Experiment.lp
+
+let grid_key (c : Experiment.cell_config) =
+  Printf.sprintf "grid|m=%d|rate=%h|T=%d|tries=%d|seed=%d|lp=%b" c.Experiment.m
+    c.Experiment.rate c.Experiment.rounds c.Experiment.tries c.Experiment.seed
+    c.Experiment.with_lp
+
+let entry_of_line line =
+  match Json.parse line with
+  | Error msg -> Error msg
+  | Ok j -> (
+      match
+        ( Option.bind (Json.member "key" j) Json.to_string_opt,
+          Json.member "result" j )
+      with
+      | Some key, Some result -> Ok (key, result)
+      | _ -> Error "not a checkpoint entry (expected key + result fields)")
+
+let loaded t = t.loaded
+
+let open_ ~path ~resume =
+  let entries = Hashtbl.create 64 in
+  let valid_lines = ref [] in
+  if resume && Sys.file_exists path then begin
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    let lines = String.split_on_char '\n' data |> List.filter (fun l -> String.trim l <> "") in
+    let n = List.length lines in
+    List.iteri
+      (fun i line ->
+        match entry_of_line line with
+        | Ok (key, result) ->
+            Hashtbl.replace entries key result;
+            valid_lines := line :: !valid_lines
+        | Error msg when i = n - 1 ->
+            (* The tail of a file whose writer was killed mid-append: drop
+               it (it is rewritten away below, so appends stay clean). *)
+            Printf.eprintf "checkpoint %s: dropping partial final line (%s)\n%!" path msg
+        | Error msg ->
+            failwith
+              (Printf.sprintf "checkpoint %s is corrupt at line %d: %s" path (i + 1) msg))
+      lines
+  end;
+  (* Truncate-and-rewrite the valid prefix (cheap next to the compute the
+     file is saving), leaving the channel positioned for appends. *)
+  let oc = Out_channel.open_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+  List.iter
+    (fun line ->
+      Out_channel.output_string oc line;
+      Out_channel.output_char oc '\n')
+    (List.rev !valid_lines);
+  Out_channel.flush oc;
+  { path; entries; oc; loaded = Hashtbl.length entries }
+
+let close t = Out_channel.close t.oc
+
+let append t ~kind ~key result =
+  let line =
+    Json.to_string ~pretty:false
+      (Json.Obj [ ("kind", Json.Str kind); ("key", Json.Str key); ("result", result) ])
+  in
+  Out_channel.output_string t.oc line;
+  Out_channel.output_char t.oc '\n';
+  (* One flush per cell: a kill between cells never loses a settled one. *)
+  Out_channel.flush t.oc;
+  Hashtbl.replace t.entries key result
+
+(* Partition cells against the store, run only the remainder (persisting
+   each completion), and merge back in grid order. *)
+let resume_run ~kind ~key ~decode ~encode ~run_cells t cells =
+  let recovered = Hashtbl.create 16 in
+  let todo =
+    List.filter
+      (fun c ->
+        let k = key c in
+        if Hashtbl.mem recovered k then false
+        else
+          match Hashtbl.find_opt t.entries k with
+          | Some j ->
+              (match decode c j with
+              | Ok r -> Hashtbl.replace recovered k r
+              | Error msg ->
+                  failwith
+                    (Printf.sprintf "checkpoint %s: entry for %s does not decode: %s" t.path k
+                       msg));
+              false
+          | None -> true)
+      cells
+  in
+  let fresh =
+    match todo with
+    | [] -> []
+    | _ -> run_cells (fun c r -> append t ~kind ~key:(key c) (encode r)) todo
+  in
+  let q = Queue.create () in
+  List.iter (fun r -> Queue.add r q) fresh;
+  List.map
+    (fun c ->
+      match Hashtbl.find_opt recovered (key c) with Some r -> r | None -> Queue.pop q)
+    cells
+
+let run_sweep ~policies ?progress ?jobs ?timeout ?retries ?faults t cells =
+  resume_run ~kind:"sweep" ~key:sweep_key
+    ~decode:(fun c j -> Report.sweep_result_of_json ~sweep:c j)
+    ~encode:Report.sweep_cell_json
+    ~run_cells:(fun on_result todo ->
+      Experiment.run_sweep ~policies ?progress ?jobs ?timeout ?retries ?faults ~on_result todo)
+    t cells
+
+let run_grid ~policies ?progress ?jobs ?timeout ?retries ?faults t cells =
+  resume_run ~kind:"grid" ~key:grid_key
+    ~decode:(fun c j -> Report.cell_result_of_json ~config:c j)
+    ~encode:Report.cell_json
+    ~run_cells:(fun on_result todo ->
+      Experiment.run_grid ~policies ?progress ?jobs ?timeout ?retries ?faults ~on_result todo)
+    t cells

@@ -1,0 +1,71 @@
+(** Checkpoint/resume for experiment grids.
+
+    A checkpoint is an append-only JSONL file: one compact JSON object per
+    completed cell, written (and flushed) from the pool parent's
+    [on_result] hook the moment the cell settles — so a run killed at cell
+    190/200 keeps its 189 finished cells.  Lines are
+    [{"kind": "sweep"|"grid", "key": <canonical config key>, "result":
+    <cell object>}] with the result encoded by
+    {!Report.sweep_cell_json}/{!Report.cell_json}.
+
+    Resuming re-runs the same grid with [resume:true]: cells whose key is
+    already present are decoded ({!Report.sweep_result_of_json}) instead of
+    recomputed, everything else runs normally, and results are merged back
+    in grid order.  Because the decoders are exact inverses of the
+    encoders, the final artifact is byte-identical to an uninterrupted run
+    (checkpointed cells keep their original wall-clock readings; only
+    freshly computed cells carry new ones).
+
+    Crash safety: a process killed mid-append leaves at most one partial
+    final line.  Loading tolerates exactly that — a trailing line that
+    fails to parse is discarded (and truncated away before appending
+    resumes); a malformed line {e followed by valid ones} is corruption,
+    not a crash artifact, and raises [Failure]. *)
+
+type t
+
+val open_ : path:string -> resume:bool -> t
+(** Open (creating if needed) the checkpoint at [path].  [resume:false]
+    truncates any previous content — a fresh run; [resume:true] loads the
+    valid prefix of existing lines and appends after it. *)
+
+val loaded : t -> int
+(** Number of completed-cell entries loaded at {!open_} (0 unless
+    [resume:true]). *)
+
+val close : t -> unit
+
+val run_sweep :
+  policies:Flowsched_online.Policy.t list ->
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?faults:Flowsched_exec.Faults.plan ->
+  t ->
+  Experiment.sweep_config list ->
+  Experiment.sweep_result list
+(** {!Experiment.run_sweep} with persistence: cells already present in the
+    checkpoint are skipped (their recorded result is returned in place),
+    each newly completed cell is appended and flushed as it settles, and
+    the merged list comes back in grid order.  A checkpoint entry that no
+    longer decodes, or that disagrees with its cell's config, raises
+    [Failure] — silently recomputing would mask corruption. *)
+
+val run_grid :
+  policies:Flowsched_online.Policy.t list ->
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?faults:Flowsched_exec.Faults.plan ->
+  t ->
+  Experiment.cell_config list ->
+  Experiment.cell_result list
+(** Same contract for the Figure 6/7 grid. *)
+
+val sweep_key : Experiment.sweep_config -> string
+(** Canonical identity of a sweep cell (every config field, including the
+    [lp] flag). *)
+
+val grid_key : Experiment.cell_config -> string

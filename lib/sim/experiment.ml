@@ -67,41 +67,45 @@ let run_cell ~policies config =
   }
 
 (* Fan a list of independent cells across a Pool; results come back in
-   input order, so output is identical to the sequential path. *)
-let pool_map ~jobs ~describe ~progress ~f items =
-  if jobs <= 1 then
-    List.map
-      (fun item ->
-        progress (describe item);
-        f item)
-      items
-  else begin
-    let arr = Array.of_list items in
-    let open Flowsched_exec in
-    Pool.map ~jobs
-      ~progress:(function
-        | Pool.Job_started { job; _ } -> progress (describe arr.(job))
-        | Pool.Job_done { job; elapsed; _ } ->
-            progress (Printf.sprintf "done %s (%.1fs)" (describe arr.(job)) elapsed)
-        | Pool.Job_retried { job; reason; _ } ->
-            progress (Printf.sprintf "retrying %s: %s" (describe arr.(job)) reason)
-        | Pool.Job_failed { job; reason; _ } ->
-            progress (Printf.sprintf "FAILED %s: %s" (describe arr.(job)) reason))
-      ~f arr
-    |> Array.to_list
-    |> List.map (function
-         | Pool.Done r -> r
-         | Pool.Failed { attempts; reason } ->
-             failwith
-               (Printf.sprintf "experiment job failed after %d attempts: %s" attempts reason))
-  end
+   input order, so output is identical to the sequential path (jobs <= 1
+   goes through the pool's inline mode, which shares the retry, timeout,
+   backoff, and fault-injection semantics of the forked path). *)
+let pool_map ~jobs ?timeout ?(retries = 1) ?faults ?on_result ~describe ~progress ~f items =
+  let arr = Array.of_list items in
+  let open Flowsched_exec in
+  let on_result =
+    match on_result with
+    | None -> None
+    | Some g ->
+        (* Only settled successes are worth persisting; a Failed cell
+           aborts the run below anyway. *)
+        Some (fun job -> function Pool.Done r -> g arr.(job) r | Pool.Failed _ -> ())
+  in
+  Pool.map ~jobs:(max 1 jobs) ?timeout ~retries ?faults ?on_result
+    ~progress:(function
+      | Pool.Job_started { job; _ } -> progress (describe arr.(job))
+      | Pool.Job_done { job; elapsed; _ } ->
+          progress (Printf.sprintf "done %s (%.1fs)" (describe arr.(job)) elapsed)
+      | Pool.Job_retried { job; reason; _ } ->
+          progress (Printf.sprintf "retrying %s: %s" (describe arr.(job)) reason)
+      | Pool.Job_failed { job; reason; _ } ->
+          progress (Printf.sprintf "FAILED %s: %s" (describe arr.(job)) reason))
+    ~f arr
+  |> Array.to_list
+  |> List.map (function
+       | Pool.Done r -> r
+       | Pool.Failed { attempts; reason } ->
+           failwith
+             (Printf.sprintf "experiment job failed after %d attempts: %s" attempts reason))
 
 let describe_cell config =
   Printf.sprintf "cell m=%d rate=%.1f T=%d lp=%b" config.m config.rate config.rounds
     config.with_lp
 
-let run_grid ~policies ?(progress = fun _ -> ()) ?(jobs = 1) configs =
-  pool_map ~jobs ~describe:describe_cell ~progress ~f:(run_cell ~policies) configs
+let run_grid ~policies ?(progress = fun _ -> ()) ?(jobs = 1) ?timeout ?retries ?faults
+    ?on_result configs =
+  pool_map ~jobs ?timeout ?retries ?faults ?on_result ~describe:describe_cell ~progress
+    ~f:(run_cell ~policies) configs
 
 (* ------------------------------------------------------------------ *)
 (* Sweep cells: one workload instance per cell (no averaging), every    *)
@@ -128,6 +132,7 @@ type sweep_result = {
   lp_avg : float;
   lp_max : float;
   lp_counters : Flowsched_lp.Simplex.counters option;
+  lp_error : string option;
   wall_s : float;
 }
 
@@ -153,6 +158,14 @@ let sweep_instance s =
         (Printf.sprintf "Experiment.sweep_instance: unknown workload %S (expected %s)" other
            (String.concat "|" sweep_workloads))
 
+(* Test seam: when set, the LP section of a sweep cell raises this
+   exception instead of solving — the only way to exercise the graceful-
+   degradation path deterministically (real Iteration_limit needs a
+   pathological instance far too slow for the suite). *)
+let lp_failure_for_tests : exn option ref = ref None
+
+let c_lp_errors = Flowsched_obs.Metrics.counter "sweep.lp_errors"
+
 let run_sweep_cell_timed ~policies s =
   let t0 = Unix.gettimeofday () in
   let inst = sweep_instance s in
@@ -170,7 +183,7 @@ let run_sweep_cell_timed ~policies s =
         end)
       policies
   in
-  let lp_avg, lp_max, lp_counters =
+  let lp_avg, lp_max, lp_counters, lp_error =
     if s.lp && flows > 0 then begin
       (* Counters are global and per-process; each cell brackets its LP
          section with read/diff (NOT reset: a reset would wipe the other
@@ -179,15 +192,23 @@ let run_sweep_cell_timed ~policies s =
          run).  The per-cell diff rides back through the worker pool with
          the rest of the cell result. *)
       let before = Flowsched_lp.Simplex.read_counters () in
-      let horizon = max (Flowsched_core.Art_lp.default_horizon inst) !max_makespan in
-      let bound = Flowsched_core.Art_lp.lower_bound ~horizon inst in
-      let rho = Flowsched_core.Mrt_scheduler.min_fractional_rho inst in
-      ( bound.Flowsched_core.Art_lp.average,
-        float_of_int rho,
+      let diff () =
         Some (Flowsched_lp.Simplex.diff_counters (Flowsched_lp.Simplex.read_counters ()) before)
-      )
+      in
+      (* Graceful degradation: one pathological cell (pivot-budget blowout,
+         infeasibility surfacing as Failure) must not abort the whole grid;
+         it reports nan bounds plus the error text instead. *)
+      try
+        (match !lp_failure_for_tests with Some e -> raise e | None -> ());
+        let horizon = max (Flowsched_core.Art_lp.default_horizon inst) !max_makespan in
+        let bound = Flowsched_core.Art_lp.lower_bound ~horizon inst in
+        let rho = Flowsched_core.Mrt_scheduler.min_fractional_rho inst in
+        (bound.Flowsched_core.Art_lp.average, float_of_int rho, diff (), None)
+      with (Flowsched_lp.Simplex.Iteration_limit _ | Failure _) as e ->
+        Flowsched_obs.Metrics.incr c_lp_errors;
+        (nan, nan, diff (), Some (Printexc.to_string e))
     end
-    else (nan, nan, None)
+    else (nan, nan, None, None)
   in
   {
     sweep = s;
@@ -196,6 +217,7 @@ let run_sweep_cell_timed ~policies s =
     lp_avg;
     lp_max;
     lp_counters;
+    lp_error;
     wall_s = Unix.gettimeofday () -. t0;
   }
 
@@ -208,8 +230,10 @@ let run_sweep_cell ~policies s =
     ~args:(fun () -> [ ("cell", Json.Str (describe_sweep s)) ])
     (fun () -> run_sweep_cell_timed ~policies s)
 
-let run_sweep ~policies ?(progress = fun _ -> ()) ?(jobs = 1) cells =
-  pool_map ~jobs ~describe:describe_sweep ~progress ~f:(run_sweep_cell ~policies) cells
+let run_sweep ~policies ?(progress = fun _ -> ()) ?(jobs = 1) ?timeout ?retries ?faults
+    ?on_result cells =
+  pool_map ~jobs ?timeout ?retries ?faults ?on_result ~describe:describe_sweep ~progress
+    ~f:(run_sweep_cell ~policies) cells
 
 let fig6_grid ?(m = 6) ?(tries = 3) ?(seed = 1) ?(lp_rounds_limit = 12) ~congestion ~rounds () =
   List.concat_map

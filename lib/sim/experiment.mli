@@ -36,13 +36,25 @@ val run_grid :
   policies:Flowsched_online.Policy.t list ->
   ?progress:(string -> unit) ->
   ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?faults:Flowsched_exec.Faults.plan ->
+  ?on_result:(cell_config -> cell_result -> unit) ->
   cell_config list -> cell_result list
 (** Runs every cell and returns results in input order.  With [jobs > 1]
     the mutually independent cells are fanned out across a
     {!Flowsched_exec.Pool} of forked workers; because results are merged in
     job order and each cell derives all randomness from its own seed, the
     output is byte-identical to the sequential [jobs = 1] run.  A cell that
-    keeps failing after the pool's retry budget raises [Failure]. *)
+    keeps failing after the pool's retry budget ([retries], default 1)
+    raises [Failure]; [timeout] bounds each attempt's wall clock and
+    [faults] injects a deterministic chaos plan (see
+    {!Flowsched_exec.Faults}).  [on_result] fires in the parent once per
+    {e completed} cell, in completion order, as soon as its result is
+    merged — the hook {!Checkpoint} uses to persist progress; a SIGINT or
+    SIGTERM mid-run raises {!Flowsched_exec.Pool.Interrupted} after
+    draining the pool, so everything already passed to [on_result] is
+    durable. *)
 
 (** {2 Sweep cells}
 
@@ -67,11 +79,16 @@ type sweep_result = {
   sweep : sweep_config;
   flows : int;
   per_policy : sweep_policy_result list;
-  lp_avg : float;  (** nan when [lp = false] or the cell is empty. *)
+  lp_avg : float;  (** nan when [lp = false], the cell is empty, or the LP errored. *)
   lp_max : float;
   lp_counters : Flowsched_lp.Simplex.counters option;
       (** Simplex perf counters for this cell's LP section (both bounds);
           [None] when no LP ran. *)
+  lp_error : string option;
+      (** Graceful LP degradation: when the cell's LP section blows its
+          pivot budget ([Simplex.Iteration_limit]) or fails ([Failure]),
+          the bounds are nan and this carries the error text — the grid
+          keeps going.  Counted under ["sweep.lp_errors"]. *)
   wall_s : float;  (** Wall-clock seconds spent on this cell. *)
 }
 
@@ -91,8 +108,17 @@ val run_sweep :
   policies:Flowsched_online.Policy.t list ->
   ?progress:(string -> unit) ->
   ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?faults:Flowsched_exec.Faults.plan ->
+  ?on_result:(sweep_config -> sweep_result -> unit) ->
   sweep_config list -> sweep_result list
-(** Same parallel contract as {!run_grid}. *)
+(** Same parallel/resilience contract as {!run_grid}. *)
+
+val lp_failure_for_tests : exn option ref
+(** Test seam (default [None]): when set, {!run_sweep_cell}'s LP section
+    raises this exception instead of solving, exercising the [lp_error]
+    degradation path.  Never set outside the test suite. *)
 
 val fig6_grid :
   ?m:int -> ?tries:int -> ?seed:int -> ?lp_rounds_limit:int ->

@@ -119,6 +119,8 @@ let sweep_cell_json (r : Experiment.sweep_result) =
         match r.Experiment.lp_counters with
         | None -> Json.Null
         | Some c -> lp_counters_json c );
+      ( "lp_error",
+        match r.Experiment.lp_error with None -> Json.Null | Some e -> Json.Str e );
       ("wall_clock_s", Json.float r.Experiment.wall_s);
     ]
 
@@ -132,6 +134,102 @@ let sweep_json ?(jobs = 1) ?metrics results =
     @ match metrics with
       | None -> []
       | Some m -> [ ("metrics", m) ])
+
+(* ------------------------------------------------------------------ *)
+(* Artifact decoders — exact inverses of the cell encoders above, used  *)
+(* by Checkpoint to reload completed cells.  Invariant (tested):        *)
+(* re-encoding a decoded cell reproduces the original bytes, which is   *)
+(* what makes a resumed sweep artifact byte-identical.                  *)
+(* ------------------------------------------------------------------ *)
+
+exception Decode of string
+
+let req what = function Some v -> v | None -> raise (Decode (what ^ ": missing or mistyped"))
+let req_int j name = req name (Option.bind (Json.member name j) Json.to_int_opt)
+let req_float j name = req name (Option.bind (Json.member name j) Json.to_float_opt)
+let req_str j name = req name (Option.bind (Json.member name j) Json.to_string_opt)
+
+let opt_str j name =
+  match Json.member name j with
+  | None | Some Json.Null -> None
+  | Some v -> Some (req name (Json.to_string_opt v))
+
+let lp_counters_of_json j =
+  {
+    Flowsched_lp.Simplex.solves = req_int j "solves";
+    pivots = req_int j "pivots";
+    ftran_calls = req_int j "ftran_calls";
+    refactorizations = req_int j "refactorizations";
+    full_pricing_scans = req_int j "full_pricing_scans";
+    partial_pricing_rounds = req_int j "partial_pricing_rounds";
+    warm_attempts = req_int j "warm_attempts";
+    warm_accepted = req_int j "warm_accepted";
+    phase1_skipped = req_int j "phase1_skipped";
+    phase1_seconds = req_float j "phase1_seconds";
+    phase2_seconds = req_float j "phase2_seconds";
+  }
+
+let check what expected got = if expected <> got then raise (Decode ("mismatched " ^ what))
+
+let sweep_result_of_json ~sweep j =
+  try
+    check "workload" sweep.Experiment.workload (req_str j "workload");
+    check "m" sweep.Experiment.ports (req_int j "m");
+    check "seed" sweep.Experiment.sweep_seed (req_int j "seed");
+    check "rounds" sweep.Experiment.horizon (req_int j "rounds");
+    let per_policy =
+      match Json.member "policies" j with
+      | Some (Json.Arr pols) ->
+          List.map
+            (fun pj ->
+              {
+                Experiment.policy = req_str pj "name";
+                art = req_float pj "avg_response";
+                mrt = req_int pj "max_response";
+              })
+            pols
+      | _ -> raise (Decode "policies: missing or mistyped")
+    in
+    let lp_counters =
+      match Json.member "lp_counters" j with
+      | None | Some Json.Null -> None
+      | Some c -> Some (lp_counters_of_json c)
+    in
+    Ok
+      {
+        Experiment.sweep;
+        flows = req_int j "flows";
+        per_policy;
+        lp_avg = req_float j "lp_avg_bound";
+        lp_max = req_float j "lp_max_bound";
+        lp_counters;
+        lp_error = opt_str j "lp_error";
+        wall_s = req_float j "wall_clock_s";
+      }
+  with Decode msg -> Error msg
+
+let cell_result_of_json ~config j =
+  try
+    check "m" config.Experiment.m (req_int j "m");
+    check "rounds" config.Experiment.rounds (req_int j "rounds");
+    check "tries" config.Experiment.tries (req_int j "tries");
+    check "seed" config.Experiment.seed (req_int j "seed");
+    let series name =
+      match Json.member name j with
+      | Some (Json.Obj fields) ->
+          List.map (fun (policy, v) -> (policy, req name (Json.to_float_opt v))) fields
+      | _ -> raise (Decode (name ^ ": missing or mistyped"))
+    in
+    Ok
+      {
+        Experiment.config;
+        flows_mean = req_float j "flows_mean";
+        avg_response = series "avg_response";
+        max_response = series "max_response";
+        lp_avg_bound = req_float j "lp_avg_bound";
+        lp_max_bound = req_float j "lp_max_bound";
+      }
+  with Decode msg -> Error msg
 
 let csv ~objective results =
   let buf = Buffer.create 256 in

@@ -22,6 +22,32 @@ val lp_counters_json : Flowsched_lp.Simplex.counters -> Flowsched_util.Json.t
 (** Simplex perf-counter snapshot as a JSON object (shared by the sweep
     artifact and the LP micro-bench artifact). *)
 
+val sweep_cell_json : Experiment.sweep_result -> Flowsched_util.Json.t
+(** One sweep cell as a JSON object (the per-cell payload of
+    {!sweep_json}); also the unit stored per line in a
+    {!Checkpoint} file. *)
+
+val cell_json : Experiment.cell_result -> Flowsched_util.Json.t
+(** One Figure 6/7 grid cell as a JSON object, config included. *)
+
+val sweep_result_of_json :
+  sweep:Experiment.sweep_config ->
+  Flowsched_util.Json.t ->
+  (Experiment.sweep_result, string) result
+(** Decode a {!sweep_cell_json} object back into a result, taking the
+    config from [sweep] (the identifying fields in the JSON are checked
+    against it).  Exact inverse of the encoder: re-encoding the decoded
+    value reproduces the original bytes — skipped bounds round-trip
+    through [null] as nan — which is what lets a resumed sweep emit an
+    artifact byte-identical to an uninterrupted run. *)
+
+val cell_result_of_json :
+  config:Experiment.cell_config ->
+  Flowsched_util.Json.t ->
+  (Experiment.cell_result, string) result
+(** Decode a {!cell_json} object; same contract as
+    {!sweep_result_of_json}. *)
+
 val sweep_json :
   ?jobs:int -> ?metrics:Flowsched_util.Json.t -> Experiment.sweep_result list ->
   Flowsched_util.Json.t

@@ -1,0 +1,24 @@
+(* CRC-32 (IEEE), reflected, init and xor-out 0xFFFFFFFF — the zlib
+   variant, computed with the classic 256-entry table. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc b =
+  let t = Lazy.force table in
+  t.((crc lxor b) land 0xFF) lxor (crc lsr 8)
+
+let bytes b =
+  let crc = ref 0xFFFFFFFF in
+  for i = 0 to Bytes.length b - 1 do
+    crc := update !crc (Char.code (Bytes.unsafe_get b i))
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let string s = bytes (Bytes.unsafe_of_string s)

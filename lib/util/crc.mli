@@ -1,0 +1,13 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    Used by the {!Flowsched_exec.Pool} wire protocol to checksum result
+    frames so that a corrupted payload is detected {e before} it reaches
+    [Marshal.from_bytes] — a checksum mismatch is attributable to the
+    worker and handled like a worker crash, instead of surfacing as an
+    unrecoverable parent-side decode failure. *)
+
+val bytes : Bytes.t -> int
+(** CRC-32 of the whole byte buffer, in [0, 0xFFFFFFFF]. *)
+
+val string : string -> int
+(** CRC-32 of a string. *)

@@ -286,6 +286,11 @@ let to_list = function Arr items -> items | _ -> []
 let to_float_opt = function
   | Float f -> Some f
   | Int i -> Some (float_of_int i)
+  (* Non-finite floats serialize as [null] (JSON has no nan/inf literal);
+     reading [null] back as nan makes [to_float_opt (parse (to_string
+     (float f)))] total — artifact decoders round-trip skipped LP bounds
+     without special-casing. *)
+  | Null -> Some nan
   | _ -> None
 
 let to_int_opt = function Int i -> Some i | _ -> None

@@ -37,7 +37,9 @@ val to_list : t -> t list
 (** The elements of an [Arr]; [[]] otherwise. *)
 
 val to_float_opt : t -> float option
-(** [Int] or [Float] as a float. *)
+(** [Int] or [Float] as a float; [Null] reads back as [nan], the inverse
+    of {!float} emitting [null] for non-finite values, so float fields
+    round-trip through an artifact even when they were skipped. *)
 
 val to_int_opt : t -> int option
 val to_string_opt : t -> string option

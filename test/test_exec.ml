@@ -128,6 +128,154 @@ let test_timeout_kills_hung_worker () =
 let test_default_jobs_positive () =
   Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
 
+(* --- resilience layer --- *)
+
+module Metrics = Flowsched_obs.Metrics
+
+let test_zero_retries_single_attempt () =
+  let outcomes = Pool.map ~jobs:2 ~retries:0 ~f:(fun _ -> failwith "no") [| 0 |] in
+  match outcomes.(0) with
+  | Pool.Failed { attempts; _ } -> Alcotest.(check int) "attempts = retries + 1" 1 attempts
+  | Pool.Done _ -> Alcotest.fail "job should have failed"
+
+(* A job function that fails its first attempt and succeeds on the next,
+   using an on-disk marker so the behaviour survives the fork boundary. *)
+let fail_once_job () =
+  let marker = Filename.temp_file "flowsched_exec_failonce" ".flag" in
+  Sys.remove marker;
+  let f _ =
+    if Sys.file_exists marker then 42
+    else begin
+      Out_channel.with_open_bin marker (fun oc -> Out_channel.output_string oc "x");
+      failwith "transient"
+    end
+  in
+  let cleanup () = if Sys.file_exists marker then Sys.remove marker in
+  (f, cleanup)
+
+let test_per_job_event_sequence () =
+  (* The documented lifecycle: Started 1; (Retried k; Started k+1)*; Done. *)
+  let f, cleanup = fail_once_job () in
+  let events = ref [] in
+  let outcomes =
+    Pool.map ~jobs:2 ~retries:2 ~progress:(fun e -> events := e :: !events) ~f [| 0 |]
+  in
+  cleanup ();
+  (match outcomes.(0) with
+  | Pool.Done v -> Alcotest.(check int) "recovered" 42 v
+  | Pool.Failed { reason; _ } -> Alcotest.failf "should have recovered: %s" reason);
+  let shape =
+    List.rev_map
+      (function
+        | Pool.Job_started { attempt; _ } -> Printf.sprintf "started%d" attempt
+        | Pool.Job_done { attempt; _ } -> Printf.sprintf "done%d" attempt
+        | Pool.Job_retried { attempt; _ } -> Printf.sprintf "retried%d" attempt
+        | Pool.Job_failed _ -> "failed")
+      !events
+  in
+  Alcotest.(check (list string)) "event sequence"
+    [ "started1"; "retried1"; "started2"; "done2" ]
+    shape
+
+let test_metrics_absorbed_from_failed_attempts () =
+  (* Every attempt increments a counter inside the worker; the increment
+     must reach the parent registry via the result-frame diff even when the
+     attempt returns a failure. *)
+  let c = Metrics.counter "test.pool_absorb" in
+  let f, cleanup = fail_once_job () in
+  let before = Metrics.counter_value c in
+  let outcomes =
+    Pool.map ~jobs:2 ~retries:1
+      ~f:(fun x ->
+        Metrics.incr c;
+        f x)
+      [| 0 |]
+  in
+  cleanup ();
+  (match outcomes.(0) with
+  | Pool.Done _ -> ()
+  | Pool.Failed { reason; _ } -> Alcotest.failf "should have recovered: %s" reason);
+  Alcotest.(check int) "both attempts' increments absorbed" (before + 2)
+    (Metrics.counter_value c)
+
+let test_inline_posthoc_timeout () =
+  (* jobs:1 cannot interrupt a running attempt, but an over-budget result
+     must still be discarded and counted as a timeout. *)
+  let outcomes =
+    Pool.map ~jobs:1 ~retries:0 ~timeout:0.05
+      ~f:(fun x ->
+        Unix.sleepf 0.12;
+        x)
+      [| 7 |]
+  in
+  match outcomes.(0) with
+  | Pool.Failed { attempts; reason } ->
+      Alcotest.(check int) "single attempt" 1 attempts;
+      Alcotest.(check bool) "reason mentions timeout" true (contains reason "timed out")
+  | Pool.Done _ -> Alcotest.fail "over-budget inline attempt must not be accepted"
+
+let test_backoff_delays_retry () =
+  let g = Metrics.gauge "pool.backoff_seconds" in
+  let f, cleanup = fail_once_job () in
+  let gauge_before = Metrics.gauge_value g in
+  let t0 = Unix.gettimeofday () in
+  let outcomes = Pool.map ~jobs:2 ~retries:1 ~backoff:0.4 ~f [| 0 |] in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  cleanup ();
+  (match outcomes.(0) with
+  | Pool.Done v -> Alcotest.(check int) "recovered after backoff" 42 v
+  | Pool.Failed { reason; _ } -> Alcotest.failf "should have recovered: %s" reason);
+  (* Jitter scales the 0.4s base by a factor in [0.5, 1.5). *)
+  Alcotest.(check bool) "retry was delayed" true (elapsed >= 0.2);
+  Alcotest.(check bool) "backoff gauge accumulated" true
+    (Metrics.gauge_value g -. gauge_before >= 0.2);
+  Alcotest.(check bool) "no zombies" true (no_zombies_left ())
+
+let test_backoff_deterministic () =
+  let d1 = Pool.backoff_delay_for_tests ~backoff:0.4 ~base_seed:3 ~job:5 ~attempt:2 in
+  let d2 = Pool.backoff_delay_for_tests ~backoff:0.4 ~base_seed:3 ~job:5 ~attempt:2 in
+  Alcotest.(check (float 0.)) "same (seed, job, attempt) -> same delay" d1 d2;
+  Alcotest.(check bool) "exponential growth" true
+    (Pool.backoff_delay_for_tests ~backoff:0.4 ~base_seed:3 ~job:5 ~attempt:4
+    >= Pool.backoff_delay_for_tests ~backoff:0.4 ~base_seed:3 ~job:5 ~attempt:2 /. 3.);
+  Alcotest.(check (float 0.)) "no backoff, no delay" 0.
+    (Pool.backoff_delay_for_tests ~backoff:0. ~base_seed:0 ~job:0 ~attempt:5)
+
+let test_worker_recycling () =
+  (* max_jobs_per_worker:1 forces a fresh process per job: every result
+     must carry a distinct worker pid. *)
+  let c = Metrics.counter "pool.workers_recycled" in
+  let before = Metrics.counter_value c in
+  let outcomes =
+    results_exn (Pool.map ~jobs:2 ~max_jobs_per_worker:1 ~f:(fun _ -> Unix.getpid ()) [| 0; 1; 2; 3; 4; 5 |])
+  in
+  let pids = Array.to_list outcomes in
+  Alcotest.(check int) "six distinct worker pids" 6
+    (List.length (List.sort_uniq compare pids));
+  Alcotest.(check int) "every worker recycled" (before + 6) (Metrics.counter_value c);
+  Alcotest.(check bool) "no zombies" true (no_zombies_left ());
+  Alcotest.(check bool) "rejects zero" true
+    (match Pool.map ~jobs:2 ~max_jobs_per_worker:0 ~f:(fun x -> x) [| 1 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_on_result_fires_once_per_job () =
+  let seen = Hashtbl.create 8 in
+  let outcomes =
+    Pool.map ~jobs:3
+      ~on_result:(fun job outcome ->
+        Alcotest.(check bool) "no duplicate on_result" false (Hashtbl.mem seen job);
+        Hashtbl.replace seen job outcome)
+      ~f:hash_job
+      (Array.init 10 (fun i -> i))
+  in
+  Alcotest.(check int) "one callback per job" 10 (Hashtbl.length seen);
+  Array.iteri
+    (fun job outcome ->
+      Alcotest.(check bool) "callback saw the merged outcome" true
+        (Hashtbl.find seen job = outcome))
+    outcomes
+
 let () =
   Alcotest.run "flowsched_exec"
     [
@@ -142,5 +290,18 @@ let () =
           Alcotest.test_case "worker crash is Failed" `Quick test_worker_crash_is_failure;
           Alcotest.test_case "timeout kills hung worker" `Slow test_timeout_kills_hung_worker;
           Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "zero retries = one attempt" `Quick
+            test_zero_retries_single_attempt;
+          Alcotest.test_case "per-job event sequence" `Quick test_per_job_event_sequence;
+          Alcotest.test_case "metrics absorbed from failed attempts" `Quick
+            test_metrics_absorbed_from_failed_attempts;
+          Alcotest.test_case "inline post-hoc timeout" `Quick test_inline_posthoc_timeout;
+          Alcotest.test_case "backoff delays retry" `Slow test_backoff_delays_retry;
+          Alcotest.test_case "backoff deterministic" `Quick test_backoff_deterministic;
+          Alcotest.test_case "worker recycling" `Quick test_worker_recycling;
+          Alcotest.test_case "on_result once per job" `Quick test_on_result_fires_once_per_job;
         ] );
     ]

@@ -290,6 +290,40 @@ let test_sweep_artifact_roundtrip () =
       | None -> Alcotest.(check bool) "nan LP serialized as null" true (Float.is_nan r.Experiment.lp_avg))
     results cells
 
+let test_lp_failure_degrades_gracefully () =
+  let open Flowsched_util in
+  let policies = [ Heuristics.maxcard ] in
+  let cell = List.hd sweep_cells in
+  let c = Flowsched_obs.Metrics.counter "sweep.lp_errors" in
+  let before = Flowsched_obs.Metrics.counter_value c in
+  Experiment.lp_failure_for_tests := Some (Failure "synthetic LP failure");
+  let r =
+    Fun.protect
+      ~finally:(fun () -> Experiment.lp_failure_for_tests := None)
+      (fun () -> Experiment.run_sweep_cell ~policies cell)
+  in
+  Alcotest.(check bool) "both bounds degrade to nan" true
+    (Float.is_nan r.Experiment.lp_avg && Float.is_nan r.Experiment.lp_max);
+  (match r.Experiment.lp_error with
+  | Some msg ->
+      Alcotest.(check bool) "error text preserved" true
+        (let rec go i =
+           i + 20 <= String.length msg && (String.sub msg i 20 = "synthetic LP failure" || go (i + 1))
+         in
+         go 0)
+  | None -> Alcotest.fail "lp_error must be set");
+  Alcotest.(check int) "counted under sweep.lp_errors" (before + 1)
+    (Flowsched_obs.Metrics.counter_value c);
+  Alcotest.(check bool) "heuristics still measured" true (r.Experiment.per_policy <> []);
+  (* The degraded cell still round-trips byte-identically through the
+     checkpoint encoders: lp_error as a string, nan bounds as null. *)
+  let j = Report.sweep_cell_json r in
+  match Report.sweep_result_of_json ~sweep:cell j with
+  | Ok r' ->
+      Alcotest.(check string) "re-encode byte-identical" (Json.to_string j)
+        (Json.to_string (Report.sweep_cell_json r'))
+  | Error e -> Alcotest.failf "degraded cell does not decode: %s" e
+
 let test_sweep_unknown_workload_rejected () =
   let bad = { (List.hd sweep_cells) with Experiment.workload = "fractal" } in
   Alcotest.(check bool) "raises Invalid_argument" true
@@ -336,6 +370,8 @@ let () =
           Alcotest.test_case "sweep deterministic across jobs" `Quick
             test_sweep_deterministic_across_jobs;
           Alcotest.test_case "sweep artifact round-trip" `Quick test_sweep_artifact_roundtrip;
+          Alcotest.test_case "lp failure degrades gracefully" `Quick
+            test_lp_failure_degrades_gracefully;
           Alcotest.test_case "sweep unknown workload" `Quick
             test_sweep_unknown_workload_rejected;
         ] );

@@ -329,6 +329,27 @@ let test_json_accessors () =
   Alcotest.(check (option string)) "string member" (Some "test/1")
     (Option.bind (Json.member "schema" sample_json) Json.to_string_opt)
 
+let test_json_nonfinite_round_trip () =
+  (* Artifact contract: non-finite floats serialize as null, and null reads
+     back as nan through [to_float_opt], so decode . encode is the identity
+     for every float field of a checkpointed cell. *)
+  List.iter
+    (fun x ->
+      let s = Json.to_string ~pretty:false (Json.Arr [ Json.float x ]) in
+      Alcotest.(check string) "serializes as null" "[null]" s;
+      match Json.parse s with
+      | Ok (Json.Arr [ v ]) -> (
+          match Json.to_float_opt v with
+          | Some f -> Alcotest.(check bool) "reads back as nan" true (Float.is_nan f)
+          | None -> Alcotest.fail "null must read back as a nan float")
+      | _ -> Alcotest.fail "parse failed")
+    [ nan; infinity; neg_infinity ];
+  Alcotest.(check bool) "finite floats stay Float" true (Json.float 2.5 = Json.Float 2.5);
+  (* And null written back out is still null: a second encode of a decoded
+     artifact reproduces the original bytes. *)
+  Alcotest.(check string) "null re-encodes as null" "null"
+    (Json.to_string ~pretty:false (Json.float nan))
+
 let prop_json_float_roundtrip =
   QCheck2.Test.make ~name:"json float round-trips exactly" ~count:500
     QCheck2.Gen.(float_bound_inclusive 1e12)
@@ -457,6 +478,7 @@ let () =
           Alcotest.test_case "parse literals" `Quick test_json_parse_literals;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
+          Alcotest.test_case "non-finite round-trip" `Quick test_json_nonfinite_round_trip;
         ] );
       ( "table",
         [
