@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-smoke bench-lp obs-smoke chaos-smoke clean
+.PHONY: build test bench bench-smoke bench-lp serve-smoke obs-smoke chaos-smoke clean
 
 build:
 	dune build
@@ -83,6 +83,31 @@ bench-lp:
 	@grep -q '"schema": "flowsched-bench-lp/1"' BENCH_lp.json \
 	  && echo "bench-lp: OK (BENCH_lp.json valid)" \
 	  || (echo "bench-lp: BAD artifact" && exit 1)
+
+# Serve-loop gate: a 100k-slot bounded-memory run with the incremental
+# matching core must be byte-stable across two invocations for a fixed
+# seed (the outcome is all-integer, so wall-clock variance cannot leak in),
+# and the serve bench's exactness gate must report the incremental matching
+# cardinality equal to a from-scratch Hopcroft-Karp on every slot.
+serve-smoke:
+	dune exec bin/main.exe -- serve --core incremental --workload uniform \
+	  -m 8 --rate 6 --slots 100000 --seed 7 --status-every 0 --json \
+	  > _serve_a.json 2>/dev/null
+	dune exec bin/main.exe -- serve --core incremental --workload uniform \
+	  -m 8 --rate 6 --slots 100000 --seed 7 --status-every 0 --json \
+	  > _serve_b.json 2>/dev/null
+	@diff _serve_a.json _serve_b.json >/dev/null \
+	  && echo "serve-smoke: 100k-slot run byte-stable across invocations" \
+	  || (echo "serve-smoke: outcome not reproducible for a fixed seed" && exit 1)
+	@grep -q '"completed": 0' _serve_a.json \
+	  && (echo "serve-smoke: no flows completed" && exit 1) \
+	  || echo "serve-smoke: OK ($$(grep -o '"completed": [0-9]*' _serve_a.json | head -1 | grep -o '[0-9]*') flows completed)"
+	dune exec bench/main.exe -- serve --json
+	@grep -q '"schema": "flowsched-bench-serve/1"' BENCH_serve.json \
+	  && grep -q '"disagreements": 0' BENCH_serve.json \
+	  && echo "serve-smoke: OK (BENCH_serve.json valid, exactness gate clean)" \
+	  || (echo "serve-smoke: BAD artifact or exactness gate failure" && exit 1)
+	@rm -f _serve_a.json _serve_b.json
 
 clean:
 	dune clean

@@ -15,6 +15,9 @@
      dune exec bench/main.exe -- micro        # Bechamel component timings
      dune exec bench/main.exe -- lp [--json]  # cold vs warm LP pipeline bench
                                               # (writes BENCH_lp.json with --json)
+     dune exec bench/main.exe -- serve [--json]  # serve loop: incremental vs
+                                              # from-scratch matching, exactness
+                                              # gate (writes BENCH_serve.json)
 
    All modes but micro accept `--jobs N` (default: detected core count) and
    fan their mutually independent cells across a Flowsched_exec.Pool of
@@ -722,6 +725,203 @@ let lp_bench ?(json = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Serve bench: incremental matching core vs from-scratch MaxCard      *)
+(* ------------------------------------------------------------------ *)
+
+module Serve = Flowsched_serve.Server
+module Bmatching = Flowsched_bipartite.Bmatching
+
+let serve_side ~core ~kind ~m ~rate ~slots ~seed =
+  let stream = Workload.stream kind ~m ~rate ~seed in
+  let source = Flowsched_serve.Source.of_stream stream ~horizon:slots in
+  let config = Serve.config ~m ~m':m ~idle_limit:1_000_000 () in
+  let before = Flowsched_obs.Metrics.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let outcome = Serve.run config core source in
+  let wall = elapsed t0 in
+  let delta = Flowsched_obs.Metrics.diff (Flowsched_obs.Metrics.snapshot ()) before in
+  (outcome, wall, delta)
+
+(* Latency quantile from a snapshot diff, so each run reads only its own
+   observations out of the process-wide registry histogram. *)
+let snap_quantile delta name q =
+  match List.assoc_opt name delta with
+  | Some (Flowsched_obs.Metrics.Histogram { buckets; count; _ }) when count > 0 ->
+      let target = max 1 (int_of_float (ceil (q *. float_of_int count))) in
+      let rec go acc = function
+        | [] -> nan
+        | (i, n) :: rest ->
+            let acc = acc + n in
+            if acc >= target then Flowsched_obs.Metrics.bucket_upper_bound i else go acc rest
+      in
+      go 0 buckets
+  | _ -> nan
+
+(* Exactness gate: drive the incremental structure slot by slot and check
+   its cardinality against a fresh Hopcroft-Karp on the same pending set
+   every slot.  Unit capacities, where the per-flow reduction is exact. *)
+let serve_gate ~kind ~m ~rate ~slots ~seed =
+  let stream = Workload.stream kind ~m ~rate ~seed in
+  let inc =
+    Bmatching.incremental ~nl:m ~nr:m ~cap_in:(Array.make m 1) ~cap_out:(Array.make m 1)
+  in
+  let live = Hashtbl.create 1024 in
+  let next_id = ref 0 in
+  let checks = ref 0 and mismatches = ref 0 in
+  let exhausted = ref false in
+  while (not !exhausted) || Bmatching.Incremental.pending inc > 0 do
+    if Workload.stream_slot stream >= slots then exhausted := true
+    else
+      List.iter
+        (fun (src, dst, _demand) ->
+          let id = !next_id in
+          incr next_id;
+          Bmatching.Incremental.add inc ~id ~src ~dst;
+          Hashtbl.add live id (src, dst))
+        (Workload.stream_next stream);
+    let pending = List.sort compare (Hashtbl.fold (fun id sd acc -> (id, sd) :: acc) live []) in
+    let scratch =
+      match pending with
+      | [] -> 0
+      | _ ->
+          let edges = Array.of_list (List.map snd pending) in
+          Flowsched_bipartite.Matching.max_cardinality_size
+            (Flowsched_bipartite.Bgraph.create ~nl:m ~nr:m edges)
+    in
+    incr checks;
+    if Bmatching.Incremental.cardinality inc <> scratch then incr mismatches;
+    List.iter (fun id -> Hashtbl.remove live id) (Bmatching.Incremental.take_matched inc)
+  done;
+  (!checks, !mismatches)
+
+let serve_bench ?(json = false) () =
+  section "Serve bench — incremental per-slot matching vs from-scratch MaxCard";
+  Printf.printf
+    "Both sides replay the same seeded arrival stream through the serve loop; the\n\
+     from-scratch side re-runs Hopcroft-Karp on the whole queue every slot, the\n\
+     incremental side re-augments only around churn.  The hotspot cell builds a\n\
+     deep backlog, where per-slot cost proportional to queue depth hurts most.\n\n%!";
+  let cells =
+    [
+      ("uniform m=8 rate=6 T=30k", Workload.Uniform, 8, 6.0, 30_000, 11);
+      ("uniform m=16 rate=14 T=20k", Workload.Uniform, 16, 14.0, 20_000, 12);
+      ("hotspot m=8 rate=3 f=.5 T=6k", Workload.Hotspot 0.5, 8, 3.0, 6_000, 13);
+    ]
+  in
+  let t =
+    Table.create
+      [
+        ("cell", Table.Left);
+        ("flows", Table.Right);
+        ("slots", Table.Right);
+        ("incr kfl/s", Table.Right);
+        ("incr p99 us", Table.Right);
+        ("scratch kfl/s", Table.Right);
+        ("scratch p99 us", Table.Right);
+        ("speedup", Table.Right);
+        ("agree", Table.Right);
+      ]
+  in
+  let disagreements = ref 0 in
+  let side_json o wall delta =
+    let q p = snap_quantile delta "serve.slot_decision_seconds" p in
+    Json.Obj
+      [
+        ("wall_s", Json.float wall);
+        ("flows_per_sec", Json.float (float_of_int o.Serve.completed /. wall));
+        ("p50_latency_s", Json.float (q 0.5));
+        ("p99_latency_s", Json.float (q 0.99));
+        ("slots", Json.Int o.Serve.slots);
+        ("completed", Json.Int o.Serve.completed);
+        ("mean_response", Json.float (Serve.mean_response o));
+        ("max_response", Json.Int o.Serve.max_response);
+        ("peak_pending", Json.Int o.Serve.peak_pending);
+      ]
+  in
+  let cell_rows =
+    List.map
+      (fun (label, kind, m, rate, slots, seed) ->
+        let oi, wi, di = serve_side ~core:Serve.Incremental ~kind ~m ~rate ~slots ~seed in
+        let os, ws, ds =
+          serve_side ~core:(Serve.Policy Heuristics.maxcard) ~kind ~m ~rate ~slots ~seed
+        in
+        (* Both cores drain the same arrivals; everything completing is the
+           cross-core sanity gate (schedule orders legitimately differ). *)
+        let agree =
+          oi.Serve.arrived = os.Serve.arrived
+          && oi.Serve.completed = os.Serve.completed
+          && oi.Serve.completed = oi.Serve.arrived
+        in
+        if not agree then incr disagreements;
+        let kfps o w = float_of_int o.Serve.completed /. w /. 1000. in
+        let p99 delta = snap_quantile delta "serve.slot_decision_seconds" 0.99 *. 1e6 in
+        Table.add_row t
+          [
+            label;
+            string_of_int oi.Serve.completed;
+            string_of_int oi.Serve.slots;
+            Table.cell_float ~decimals:0 (kfps oi wi);
+            Table.cell_float ~decimals:1 (p99 di);
+            Table.cell_float ~decimals:0 (kfps os ws);
+            Table.cell_float ~decimals:1 (p99 ds);
+            Printf.sprintf "%.1fx" (ws /. wi);
+            string_of_bool agree;
+          ];
+        Json.Obj
+          [
+            ("cell", Json.Str label);
+            ("incremental", side_json oi wi di);
+            ("scratch", side_json os ws ds);
+            ("speedup", Json.float (ws /. wi));
+            ("agree", Json.Bool agree);
+          ])
+      cells
+  in
+  Table.print t;
+  let gates =
+    [
+      ("uniform m=6 rate=4 T=2000", Workload.Uniform, 6, 4.0, 2_000, 5);
+      ("hotspot m=8 rate=2 f=.3 T=1500", Workload.Hotspot 0.3, 8, 2.0, 1_500, 6);
+    ]
+  in
+  let gate_rows =
+    List.map
+      (fun (label, kind, m, rate, slots, seed) ->
+        let checks, mismatches = serve_gate ~kind ~m ~rate ~slots ~seed in
+        Printf.printf "exactness gate [%s]: %d/%d slots match from-scratch HK\n%!" label
+          (checks - mismatches) checks;
+        if mismatches > 0 then incr disagreements;
+        Json.Obj
+          [
+            ("gate", Json.Str label);
+            ("checks", Json.Int checks);
+            ("mismatches", Json.Int mismatches);
+          ])
+      gates
+  in
+  if json then begin
+    let artifact =
+      Json.Obj
+        [
+          ("schema", Json.Str "flowsched-bench-serve/1");
+          ("cells", Json.Arr cell_rows);
+          ("gates", Json.Arr gate_rows);
+          ("disagreements", Json.Int !disagreements);
+        ]
+    in
+    let path = "BENCH_serve.json" in
+    let oc = open_out path in
+    output_string oc (Json.to_string artifact);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
+  if !disagreements > 0 then begin
+    Printf.eprintf "FAIL: %d serve exactness/agreement failure(s)\n%!" !disagreements;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -862,9 +1062,10 @@ let () =
   | "adversarial" :: _ -> adversarial ~jobs ()
   | "micro" :: _ -> micro ()
   | "lp" :: rest -> lp_bench ~json:(List.mem "--json" rest) ()
+  | "serve" :: rest -> serve_bench ~json:(List.mem "--json" rest) ()
   | other :: _ ->
-      Printf.eprintf "unknown bench mode %S (try figures|ablations|adversarial|micro|lp)\n"
-        other;
+      Printf.eprintf
+        "unknown bench mode %S (try figures|ablations|adversarial|micro|lp|serve)\n" other;
       exit 2);
   section "Metrics registry";
   print_string (Flowsched_obs.Metrics.to_text (Flowsched_obs.Metrics.snapshot ()));

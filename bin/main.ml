@@ -241,10 +241,16 @@ let simulate path policy_name seed timeline trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
   let inst = load_instance path in
   let policy = policy_of_name policy_name seed in
-  let r = Flowsched_sim.Engine.run_instance policy inst in
-  Printf.printf "policy:           %s\n" policy.Flowsched_online.Policy.name;
-  print_schedule_stats inst r.Flowsched_sim.Engine.schedule;
-  if timeline then print_timeline inst r.Flowsched_sim.Engine.schedule "original capacities"
+  match Flowsched_sim.Engine.run_instance policy inst with
+  | exception Flowsched_sim.Engine.Horizon_exceeded { round; pending } ->
+      Printf.eprintf
+        "error: policy %s did not drain the queue: %d flows still pending after %d rounds\n"
+        policy.Flowsched_online.Policy.name pending round;
+      exit 1
+  | r ->
+      Printf.printf "policy:           %s\n" policy.Flowsched_online.Policy.name;
+      print_schedule_stats inst r.Flowsched_sim.Engine.schedule;
+      if timeline then print_timeline inst r.Flowsched_sim.Engine.schedule "original capacities"
 
 let simulate_cmd =
   let policy =
@@ -257,6 +263,160 @@ let simulate_cmd =
     Term.(
       const simulate $ instance_arg $ policy $ seed_term $ timeline_flag $ trace_term
       $ metrics_term)
+
+(* ----- serve ----- *)
+
+let serve inst_path core_name seed workload m rate slots max_demand alpha fraction queue_cap
+    buffer_cap max_slots idle_limit status_every json trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
+  let module Serve = Flowsched_serve.Server in
+  let source, m, m', cap_in, cap_out =
+    match inst_path with
+    | Some path ->
+        let inst = load_instance path in
+        ( Flowsched_serve.Source.of_instance inst,
+          inst.Instance.m,
+          inst.Instance.m',
+          Some inst.Instance.cap_in,
+          Some inst.Instance.cap_out )
+    | None ->
+        let kind =
+          match String.lowercase_ascii workload with
+          | "uniform" | "poisson" -> Flowsched_sim.Workload.Uniform
+          | "demands" -> Flowsched_sim.Workload.Uniform_demands max_demand
+          | "skewed" -> Flowsched_sim.Workload.Skewed alpha
+          | "hotspot" -> Flowsched_sim.Workload.Hotspot fraction
+          | other ->
+              Printf.eprintf "error: unknown workload %S (uniform|demands|skewed|hotspot)\n"
+                other;
+              exit 1
+        in
+        let stream = Flowsched_sim.Workload.stream kind ~m ~rate ~seed in
+        let caps =
+          match kind with
+          | Flowsched_sim.Workload.Uniform_demands d -> Some (Array.make m d)
+          | _ -> None
+        in
+        (Flowsched_serve.Source.of_stream stream ~horizon:slots, m, m, caps, caps)
+  in
+  let core =
+    match String.lowercase_ascii core_name with
+    | "incremental" -> Serve.Incremental
+    | name -> Serve.Policy (policy_of_name name seed)
+  in
+  let config =
+    Serve.config ?cap_in ?cap_out ?queue_cap ?buffer_cap ?max_slots ~idle_limit ~status_every
+      ~m ~m' ()
+  in
+  let on_status s =
+    Printf.eprintf "%s\n%!"
+      (Flowsched_util.Json.to_string ~pretty:false (Serve.status_to_json s))
+  in
+  let outcome =
+    Flowsched_exec.Signals.with_interrupt_flag (fun stop ->
+        Serve.run ~on_status ~stop config core source)
+  in
+  if json then
+    print_endline (Flowsched_util.Json.to_string (Serve.outcome_to_json outcome))
+  else begin
+    Printf.printf "slots:            %d\n" outcome.Serve.slots;
+    Printf.printf "flows:            %d arrived, %d completed\n" outcome.Serve.arrived
+      outcome.Serve.completed;
+    Printf.printf "avg response:     %.4f\n" (Serve.mean_response outcome);
+    Printf.printf "max response:     %d\n" outcome.Serve.max_response;
+    Printf.printf "makespan:         %d\n" outcome.Serve.makespan;
+    Printf.printf "idle slots:       %d\n" outcome.Serve.idle_slots;
+    Printf.printf "stalled slots:    %d\n" outcome.Serve.stalled_slots;
+    Printf.printf "peak pending:     %d\n" outcome.Serve.peak_pending;
+    if outcome.Serve.final_pending > 0 || outcome.Serve.final_buffered > 0 then
+      Printf.printf "left unfinished:  %d pending, %d buffered\n" outcome.Serve.final_pending
+        outcome.Serve.final_buffered;
+    if outcome.Serve.interrupted then Printf.printf "interrupted:      yes (drained gracefully)\n"
+  end
+
+let serve_cmd =
+  let inst =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "instance" ] ~docv:"FILE"
+          ~doc:"Replay a fixed instance file instead of a generated stream ('-' for stdin).")
+  in
+  let core =
+    Arg.(
+      value & opt string "incremental"
+      & info [ "core" ]
+          ~doc:
+            "Scheduling core: incremental (per-slot matching maintained across slots) or a \
+             policy name (maxcard | minrtime | maxweight | fifo | random).")
+  in
+  let workload =
+    Arg.(
+      value & opt string "uniform"
+      & info [ "workload" ] ~doc:"Generated stream kind: uniform | demands | skewed | hotspot.")
+  in
+  let m = Arg.(value & opt int 8 & info [ "m" ] ~doc:"Ports per side (stream mode).") in
+  let rate =
+    Arg.(value & opt float 4.0 & info [ "rate" ] ~doc:"Poisson arrival rate (stream mode).")
+  in
+  let slots =
+    Arg.(
+      value & opt int 100_000
+      & info [ "slots" ] ~doc:"Source horizon in slots (stream mode); the run then drains.")
+  in
+  let max_demand =
+    Arg.(value & opt int 3 & info [ "max-demand" ] ~doc:"Demand bound (demands workload).")
+  in
+  let alpha =
+    Arg.(value & opt float 1.0 & info [ "alpha" ] ~doc:"Zipf exponent (skewed workload).")
+  in
+  let fraction =
+    Arg.(
+      value & opt float 0.5 & info [ "fraction" ] ~doc:"Incast fraction (hotspot workload).")
+  in
+  let queue_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue-cap" ]
+          ~doc:"Bound the pending queue; arrivals wait in the buffer above this.")
+  in
+  let buffer_cap =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "buffer-cap" ] ~doc:"Bound the arrival buffer; the source stalls above this.")
+  in
+  let max_slots =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-slots" ] ~doc:"Hard stop after this many scheduler slots.")
+  in
+  let idle_limit =
+    Arg.(
+      value & opt int 10_000
+      & info [ "idle-limit" ]
+          ~doc:"Give up after this many consecutive fruitless drain slots.")
+  in
+  let status_every =
+    Arg.(
+      value & opt int 10_000
+      & info [ "status-every" ]
+          ~doc:"Print a JSON status snapshot to stderr every N slots (0 = never).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the final outcome as JSON on stdout.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduler as a long-lived slot-clocked service over a trace or a generated \
+          arrival stream.")
+    Term.(
+      const serve $ inst $ core $ seed_term $ workload $ m $ rate $ slots $ max_demand $ alpha
+      $ fraction $ queue_cap $ buffer_cap $ max_slots $ idle_limit $ status_every $ json
+      $ trace_term $ metrics_term)
 
 (* ----- exact ----- *)
 
@@ -628,6 +788,7 @@ let () =
         solve_art_cmd;
         solve_mrt_cmd;
         simulate_cmd;
+        serve_cmd;
         exact_cmd;
         figures_cmd;
         sweep_cmd;

@@ -495,22 +495,7 @@ let map ?jobs ?timeout ?(retries = 1) ?(base_seed = 0) ?(backoff = 0.) ?faults
     (* Graceful shutdown: SIGINT/SIGTERM set a flag checked at every loop
        step; the pool drains and reaps all children (the forked loop's
        finally block) before re-raising as Interrupted. *)
-    let interrupted = ref false in
-    let install s =
-      try Some (s, Sys.signal s (Sys.Signal_handle (fun _ -> interrupted := true)))
-      with Invalid_argument _ | Sys_error _ -> None
-    in
-    let restore = function
-      | Some (s, behavior) -> ( try ignore (Sys.signal s behavior) with Invalid_argument _ -> ())
-      | None -> ()
-    in
-    let prev_int = install Sys.sigint in
-    let prev_term = install Sys.sigterm in
-    Fun.protect
-      ~finally:(fun () ->
-        restore prev_int;
-        restore prev_term)
-      (fun () ->
+    Signals.with_interrupt_flag (fun interrupted ->
         Trace.with_span "pool.map"
           ~args:(fun () ->
             [

@@ -1,0 +1,17 @@
+let with_interrupt_flag f =
+  let interrupted = ref false in
+  let install s =
+    try Some (s, Sys.signal s (Sys.Signal_handle (fun _ -> interrupted := true)))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore = function
+    | Some (s, behavior) -> ( try ignore (Sys.signal s behavior) with Invalid_argument _ -> ())
+    | None -> ()
+  in
+  let prev_int = install Sys.sigint in
+  let prev_term = install Sys.sigterm in
+  Fun.protect
+    ~finally:(fun () ->
+      restore prev_int;
+      restore prev_term)
+    (fun () -> f interrupted)

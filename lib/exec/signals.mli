@@ -1,0 +1,15 @@
+(** Shared SIGINT/SIGTERM plumbing for long-running drivers.
+
+    Both the worker pool and the serve loop want the same shutdown shape:
+    redirect the termination signals to a flag, poll it at loop steps, and
+    restore the previous behaviours on the way out — so a second Ctrl-C
+    after the graceful path has finished its cleanup behaves as the shell
+    expects.  Extracted from {!Pool.map} so every long-running driver drains
+    the same way. *)
+
+val with_interrupt_flag : (bool ref -> 'a) -> 'a
+(** [with_interrupt_flag f] installs handlers for SIGINT and SIGTERM that
+    set the given flag, runs [f flag], and restores the previous handlers
+    afterwards (also on exceptions).  On platforms without signal support
+    the flag simply never fires.  Nesting is safe: the inner call restores
+    the outer call's handlers. *)

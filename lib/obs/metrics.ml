@@ -55,6 +55,26 @@ let observe h v =
   h.hsum <- h.hsum +. v;
   h.hcount <- h.hcount + 1
 
+let histogram_quantile h q =
+  if Float.is_nan q || q < 0. || q > 1. then
+    invalid_arg "Metrics.histogram_quantile: quantile must be in [0, 1]";
+  if h.hcount = 0 then nan
+  else begin
+    (* Smallest bucket whose cumulative occupancy reaches rank ceil(q * n)
+       (at least 1, so q = 0 returns the first occupied bucket's bound). *)
+    let target = max 1 (int_of_float (ceil (q *. float_of_int h.hcount))) in
+    let rec go i acc =
+      if i >= n_buckets then bucket_upper_bound (n_buckets - 1)
+      else
+        let acc = acc + h.hbuckets.(i) in
+        if acc >= target then bucket_upper_bound i else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+let histogram_count h = h.hcount
+let histogram_sum h = h.hsum
+
 type value =
   | Counter of int
   | Gauge of float

@@ -43,6 +43,17 @@ val observe : histogram -> float -> unit
 val bucket_upper_bound : int -> float
 (** Upper bound (exclusive) of log-scale bucket [i]; [0.] for bucket 0. *)
 
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-quantile ([q] in [\[0,1\]]) of
+    the observations as the upper bound of the first log-scale bucket whose
+    cumulative occupancy reaches rank [ceil (q * count)] — an upper estimate
+    within one octave of the true quantile.  [nan] when the histogram is
+    empty; raises [Invalid_argument] on an out-of-range [q].  Used by the
+    serve loop's status snapshots (p50/p99 slot-decision latency). *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
 (** {1 Snapshots} *)
 
 type value =

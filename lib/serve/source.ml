@@ -1,0 +1,32 @@
+open Flowsched_switch
+
+type t = { more : int -> bool; pull : int -> (int * int * int) list }
+
+let make ~more ~pull = { more; pull }
+let more t slot = t.more slot
+let pull t slot = t.pull slot
+
+let of_instance (inst : Instance.t) =
+  let by_release = Hashtbl.create 64 in
+  Array.iter
+    (fun (f : Flow.t) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_release f.Flow.release) in
+      Hashtbl.replace by_release f.Flow.release (f :: cur))
+    inst.Instance.flows;
+  let last = Instance.last_release inst in
+  {
+    more = (fun slot -> slot <= last);
+    pull =
+      (fun slot ->
+        match Hashtbl.find_opt by_release slot with
+        | Some fs ->
+            List.rev_map (fun (f : Flow.t) -> (f.Flow.src, f.Flow.dst, f.Flow.demand)) fs
+        | None -> []);
+  }
+
+let of_stream stream ~horizon =
+  if horizon < 0 then invalid_arg "Source.of_stream: negative horizon";
+  {
+    more = (fun _slot -> Flowsched_sim.Workload.stream_slot stream < horizon);
+    pull = (fun _slot -> Flowsched_sim.Workload.stream_next stream);
+  }

@@ -16,6 +16,7 @@ type result = {
 }
 
 exception Policy_violation of string
+exception Horizon_exceeded of { round : int; pending : int }
 
 (* The core loop shared by both drivers.  [arrive round pending] returns the
    flows released this round (with globally consistent ids); [more round]
@@ -30,14 +31,27 @@ let drive ?(validate = true) ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out ~ar
   let round = ref 0 in
   let rounds_idle = ref 0 in
   let makespan = ref 0 in
+  (* The queue array is a function of [pending]; on zero-churn rounds (no
+     arrivals, nothing scheduled last round) it is unchanged, so reuse it
+     instead of rebuilding — at deep backlog the rebuild dominated rounds
+     where the policy was starved anyway. *)
+  let queue_cache = ref [||] in
+  let queue_stale = ref true in
   while (more !round && !round < max_rounds) || !pending <> [] do
     if !round >= max_rounds then
-      failwith "Engine: queue did not drain within max_rounds";
+      raise (Horizon_exceeded { round = !round; pending = List.length !pending });
     let arrivals = if more !round then arrive !round !pending else [] in
     List.iter (fun (f : Flow.t) -> all_flows := f :: !all_flows) arrivals;
     Metrics.incr ~by:(List.length arrivals) c_flows;
-    pending := !pending @ arrivals;
-    let queue = Array.of_list !pending in
+    if arrivals <> [] then begin
+      pending := !pending @ arrivals;
+      queue_stale := true
+    end;
+    if !queue_stale then begin
+      queue_cache := Array.of_list !pending;
+      queue_stale := false
+    end;
+    let queue = !queue_cache in
     Metrics.incr c_rounds;
     Metrics.observe h_queue_len (float_of_int (Array.length queue));
     let ctx =
@@ -76,7 +90,11 @@ let drive ?(validate = true) ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out ~ar
     List.iter
       (fun i -> assignment := (queue.(i).Flow.id, !round) :: !assignment)
       selected;
-    pending := List.filter (fun (f : Flow.t) -> not (Hashtbl.mem chosen f.Flow.id)) !pending;
+    if selected <> [] then begin
+      pending :=
+        List.filter (fun (f : Flow.t) -> not (Hashtbl.mem chosen f.Flow.id)) !pending;
+      queue_stale := true
+    end;
     incr round
   done;
   (* Index flows by id so slots.(id) and flows.(id) line up regardless of
@@ -102,7 +120,7 @@ let drive ?(validate = true) ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out ~ar
   let responses = Array.mapi (fun i r -> r + 1 - flows.(i).Flow.release) slots in
   { flows; schedule; responses; makespan = !makespan; rounds_idle = !rounds_idle })
 
-let run_instance ?validate (policy : Flowsched_online.Policy.t) inst =
+let run_instance ?validate ?max_rounds (policy : Flowsched_online.Policy.t) inst =
   let by_release = Hashtbl.create 16 in
   Array.iter
     (fun (f : Flow.t) ->
@@ -116,8 +134,8 @@ let run_instance ?validate (policy : Flowsched_online.Policy.t) inst =
     | None -> []
   in
   let more round = round <= last in
-  drive ?validate ~m:inst.Instance.m ~m':inst.Instance.m' ~cap_in:inst.Instance.cap_in
-    ~cap_out:inst.Instance.cap_out ~arrive ~more policy
+  drive ?validate ?max_rounds ~m:inst.Instance.m ~m':inst.Instance.m'
+    ~cap_in:inst.Instance.cap_in ~cap_out:inst.Instance.cap_out ~arrive ~more policy
 
 let average_response r =
   if Array.length r.responses = 0 then nan

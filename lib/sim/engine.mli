@@ -23,10 +23,19 @@ exception Policy_violation of string
     out-of-range index, a flow not in the queue, or a capacity-infeasible
     selection. *)
 
+exception Horizon_exceeded of { round : int; pending : int }
+(** Raised when the queue has not drained by [max_rounds]: the policy is
+    starving flows or arrivals outpace capacity.  Carries the round reached
+    and the queue depth at that point so drivers can report how far the run
+    got instead of a bare failure. *)
+
 val run_instance :
-  ?validate:bool -> Flowsched_online.Policy.t -> Flowsched_switch.Instance.t -> result
+  ?validate:bool -> ?max_rounds:int ->
+  Flowsched_online.Policy.t -> Flowsched_switch.Instance.t -> result
 (** Replays the instance's flows at their release times and runs until the
-    queue drains.  The result's flow array is the instance's. *)
+    queue drains.  The result's flow array is the instance's.  Raises
+    {!Horizon_exceeded} if the queue outlives [max_rounds] (default
+    100000). *)
 
 val average_response : result -> float
 val max_response : result -> int
@@ -43,4 +52,4 @@ val run_adaptive :
     this round; it sees the current queue, so it can be adversarial.  After
     [stop_arrivals_after] rounds the callback is no longer consulted and the
     engine runs until the queue drains (or [max_rounds], default 100000,
-    then it raises [Failure]). *)
+    then it raises {!Horizon_exceeded}). *)

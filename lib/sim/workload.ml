@@ -1,27 +1,44 @@
 open Flowsched_switch
 open Flowsched_util
 
+(* Per-flow endpoint/demand draws, shared between the batch generators below
+   and the incremental {!stream} used by the serve loop.  The call order on
+   the PRNG is load-bearing: the original batch generators built the spec
+   tuple [(src, dst, demand, t)] directly, and OCaml evaluates tuple
+   components right to left, so the effective draw order was demand, then
+   dst, then src.  Keeping that order here (as explicit sequenced lets)
+   means a stream's slot-by-slot prefix is byte-identical to the batch
+   instance for the same seed. *)
+let draw_uniform ~m ~demand_of g =
+  let demand = demand_of g in
+  let dst = Prng.int g m in
+  let src = Prng.int g m in
+  (src, dst, demand)
+
 let poisson_specs g ~m ~rate ~rounds ~demand_of =
   let specs = ref [] in
   for t = 0 to rounds - 1 do
     let k = Sampling.poisson g rate in
     for _ = 1 to k do
-      specs := (Prng.int g m, Prng.int g m, demand_of (), t) :: !specs
+      let src, dst, demand = draw_uniform ~m ~demand_of g in
+      specs := (src, dst, demand, t) :: !specs
     done
   done;
   List.rev !specs
 
+let unit_demand _g = 1
+
 let poisson ~m ~rate ~rounds ~seed =
   if m < 1 || rounds < 1 || rate < 0. then invalid_arg "Workload.poisson";
   let g = Prng.create seed in
-  Instance.of_flows ~m ~m':m (poisson_specs g ~m ~rate ~rounds ~demand_of:(fun () -> 1))
+  Instance.of_flows ~m ~m':m (poisson_specs g ~m ~rate ~rounds ~demand_of:unit_demand)
+
+let bounded_demand max_demand g = 1 + Prng.int g max_demand
 
 let poisson_with_demands ~m ~rate ~rounds ~max_demand ~seed =
   if max_demand < 1 then invalid_arg "Workload.poisson_with_demands";
   let g = Prng.create seed in
-  let specs =
-    poisson_specs g ~m ~rate ~rounds ~demand_of:(fun () -> 1 + Prng.int g max_demand)
-  in
+  let specs = poisson_specs g ~m ~rate ~rounds ~demand_of:(bounded_demand max_demand) in
   Instance.of_flows
     ~cap_in:(Array.make m max_demand)
     ~cap_out:(Array.make m max_demand)
@@ -44,6 +61,13 @@ let zipf_sampler g m alpha =
     let rec find i = if i >= m - 1 || u <= cdf.(i) then i else find (i + 1) in
     find 0
 
+(* Zipf endpoints: the original built [(sample (), sample (), 1, t)], so the
+   dst draw preceded the src draw. *)
+let draw_skewed sample _g =
+  let dst = sample () in
+  let src = sample () in
+  (src, dst, 1)
+
 let skewed ~m ~rate ~rounds ?(alpha = 1.0) ~seed () =
   if m < 1 || rounds < 1 || rate < 0. then invalid_arg "Workload.skewed";
   let g = Prng.create seed in
@@ -52,10 +76,18 @@ let skewed ~m ~rate ~rounds ?(alpha = 1.0) ~seed () =
   for t = 0 to rounds - 1 do
     let k = Sampling.poisson g rate in
     for _ = 1 to k do
-      specs := (sample (), sample (), 1, t) :: !specs
+      let src, dst, demand = draw_skewed sample g in
+      specs := (src, dst, demand, t) :: !specs
     done
   done;
   Instance.of_flows ~m ~m':m (List.rev !specs)
+
+(* Incast endpoints: dst decision (one float, plus one int draw on the cold
+   path) before the src draw, as in the original tuple build. *)
+let draw_hotspot ~m ~fraction g =
+  let dst = if Prng.float g < fraction then 0 else Prng.int g m in
+  let src = Prng.int g m in
+  (src, dst, 1)
 
 let hotspot ~m ~rate ~rounds ?(fraction = 0.5) ~seed () =
   if m < 1 || rounds < 1 || rate < 0. || fraction < 0. || fraction > 1. then
@@ -65,8 +97,8 @@ let hotspot ~m ~rate ~rounds ?(fraction = 0.5) ~seed () =
   for t = 0 to rounds - 1 do
     let k = Sampling.poisson g rate in
     for _ = 1 to k do
-      let dst = if Prng.float g < fraction then 0 else Prng.int g m in
-      specs := (Prng.int g m, dst, 1, t) :: !specs
+      let src, dst, demand = draw_hotspot ~m ~fraction g in
+      specs := (src, dst, demand, t) :: !specs
     done
   done;
   Instance.of_flows ~m ~m':m (List.rev !specs)
@@ -78,3 +110,47 @@ let uniform_total ~m ~n ~max_release ~seed =
     List.init n (fun _ -> (Prng.int g m, Prng.int g m, 1, Prng.int g (max_release + 1)))
   in
   Instance.of_flows ~m ~m':m specs
+
+(* Unbounded slot-clocked arrival streams for the serve loop. *)
+
+type kind =
+  | Uniform
+  | Uniform_demands of int
+  | Skewed of float
+  | Hotspot of float
+
+type stream = {
+  g : Prng.t;
+  draw : Prng.t -> int * int * int;
+  rate : float;
+  mutable slot : int;
+}
+
+let stream kind ~m ~rate ~seed =
+  if m < 1 || rate < 0. then invalid_arg "Workload.stream";
+  let g = Prng.create seed in
+  let draw =
+    match kind with
+    | Uniform -> draw_uniform ~m ~demand_of:unit_demand
+    | Uniform_demands max_demand ->
+        if max_demand < 1 then invalid_arg "Workload.stream: max_demand";
+        draw_uniform ~m ~demand_of:(bounded_demand max_demand)
+    | Skewed alpha ->
+        let sample = zipf_sampler g m alpha in
+        draw_skewed sample
+    | Hotspot fraction ->
+        if fraction < 0. || fraction > 1. then invalid_arg "Workload.stream: fraction";
+        draw_hotspot ~m ~fraction
+  in
+  { g; draw; rate; slot = 0 }
+
+let stream_slot s = s.slot
+
+let stream_next s =
+  let k = Sampling.poisson s.g s.rate in
+  let arrivals = ref [] in
+  for _ = 1 to k do
+    arrivals := s.draw s.g :: !arrivals
+  done;
+  s.slot <- s.slot + 1;
+  List.rev !arrivals

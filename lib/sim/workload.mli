@@ -39,3 +39,36 @@ val hotspot :
 (** Poisson arrivals where a [fraction] (default 0.5) of all flows target
     output port 0 (an incast hotspot, e.g. a storage head node); sources
     and the remaining destinations stay uniform. *)
+
+(** {1 Arrival streams}
+
+    The serve loop runs over horizons far longer than any materialized
+    instance, so the generators above are also exposed as unbounded
+    slot-clocked streams.  A stream draws from the PRNG in exactly the same
+    order as the corresponding batch generator: for any seed and horizon
+    [T], concatenating [stream_next] over slots [0..T-1] (tagging each
+    arrival with its slot) yields precisely the flow specs of the batch
+    instance.  Tests rely on this prefix property to replay a served trace
+    through the batch engine. *)
+
+type kind =
+  | Uniform  (** {!poisson}: uniform endpoints, unit demands. *)
+  | Uniform_demands of int
+      (** {!poisson_with_demands} with the given [max_demand]. *)
+  | Skewed of float  (** {!skewed} with the given [alpha]. *)
+  | Hotspot of float  (** {!hotspot} with the given [fraction]. *)
+
+type stream
+
+val stream : kind -> m:int -> rate:float -> seed:int -> stream
+(** Raises [Invalid_argument] on [m < 1], negative [rate], or kind
+    parameters out of range. *)
+
+val stream_next : stream -> (int * int * int) list
+(** Arrivals [(src, dst, demand)] released at the stream's current slot, in
+    generation order; advances the stream to the next slot.  The list is
+    empty on slots where the Poisson draw is zero. *)
+
+val stream_slot : stream -> int
+(** Number of slots generated so far (the slot index the next
+    [stream_next] call will produce). *)

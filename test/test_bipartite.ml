@@ -240,6 +240,143 @@ let test_expand_rejects_zero_capacity () =
     (Invalid_argument "Bmatching.expand: edge incident to zero-capacity vertex") (fun () ->
       ignore (Bmatching.expand g ~cl:[| 0 |] ~cr:[| 1 |]))
 
+(* --- incremental b-matching --- *)
+
+(* From-scratch oracle by min-cut enumeration.  The maximum number of
+   schedulable unit-demand flows is the max flow of source -> u (cap cl(u))
+   -> v (cap = live flows on pair (u,v)) -> sink (cap cr(v)); by max-flow /
+   min-cut that equals
+
+     min over S <= L, T <= R of
+       sum_{u not in S} cl(u) + sum_{u in S, v not in T} pair(u,v)
+       + sum_{v in T} cr(v)
+
+   (S and T are the source-side ports).  Enumerating all (S, T) is
+   exponential but tiny at test sizes, and — unlike re-running the same
+   augmenting-path machinery — shares no code path with the implementation
+   under test.  Note the round-robin [Bmatching.expand] reduction is NOT a
+   valid oracle here: fixing each edge's copy assignment up front can
+   undercount the optimum once capacities exceed 1. *)
+let scratch_cardinality ~nl ~nr ~cl ~cr live =
+  let pair = Array.make_matrix nl nr 0 in
+  List.iter (fun (_, src, dst) -> pair.(src).(dst) <- pair.(src).(dst) + 1) live;
+  let best = ref max_int in
+  for s = 0 to (1 lsl nl) - 1 do
+    for t = 0 to (1 lsl nr) - 1 do
+      let cut = ref 0 in
+      for u = 0 to nl - 1 do
+        if s land (1 lsl u) = 0 then cut := !cut + cl.(u)
+        else
+          for v = 0 to nr - 1 do
+            if t land (1 lsl v) = 0 then cut := !cut + pair.(u).(v)
+          done
+      done;
+      for v = 0 to nr - 1 do
+        if t land (1 lsl v) <> 0 then cut := !cut + cr.(v)
+      done;
+      if !cut < !best then best := !cut
+    done
+  done;
+  !best
+
+let test_incremental_rebind_oldest_first () =
+  let t = Bmatching.incremental ~nl:1 ~nr:1 ~cap_in:[| 1 |] ~cap_out:[| 1 |] in
+  Bmatching.Incremental.add t ~id:0 ~src:0 ~dst:0;
+  Bmatching.Incremental.add t ~id:1 ~src:0 ~dst:0;
+  Bmatching.Incremental.add t ~id:2 ~src:0 ~dst:0;
+  Alcotest.(check int) "cardinality" 1 (Bmatching.Incremental.cardinality t);
+  Alcotest.(check (list int)) "slot 1" [ 0 ] (Bmatching.Incremental.take_matched t);
+  Alcotest.(check (list int)) "slot 2" [ 1 ] (Bmatching.Incremental.take_matched t);
+  Alcotest.(check (list int)) "slot 3" [ 2 ] (Bmatching.Incremental.take_matched t);
+  Alcotest.(check int) "drained" 0 (Bmatching.Incremental.pending t)
+
+let test_incremental_augments_across_pairs () =
+  (* f0 = (0,0) binds on arrival; f1 = (1,0) and f2 = (0,1) then each find a
+     port occupied.  The optimum is {f1, f2}, reachable only by unbinding f0
+     along an augmenting path. *)
+  let t = Bmatching.incremental ~nl:2 ~nr:2 ~cap_in:[| 1; 1 |] ~cap_out:[| 1; 1 |] in
+  Bmatching.Incremental.add t ~id:0 ~src:0 ~dst:0;
+  Bmatching.Incremental.add t ~id:1 ~src:1 ~dst:0;
+  Bmatching.Incremental.add t ~id:2 ~src:0 ~dst:1;
+  Alcotest.(check int) "cardinality" 2 (Bmatching.Incremental.cardinality t);
+  Alcotest.(check (list int)) "matched" [ 2; 1 ] (Bmatching.Incremental.matched t)
+
+let prop_incremental_matches_expand_on_unit_caps =
+  QCheck2.Test.make ~name:"incremental = expand+HK on unit capacities" ~count:200
+    QCheck2.Gen.(quad (int_bound 1_000_000) (int_range 1 6) (int_range 1 6) (int_range 0 20))
+    (fun (seed, nl, nr, nf) ->
+      let prng = Flowsched_util.Prng.create (seed + 3) in
+      let cl = Array.make nl 1 and cr = Array.make nr 1 in
+      let t = Bmatching.incremental ~nl ~nr ~cap_in:cl ~cap_out:cr in
+      let flows =
+        List.init nf (fun id ->
+            let src = Flowsched_util.Prng.int prng nl in
+            let dst = Flowsched_util.Prng.int prng nr in
+            Bmatching.Incremental.add t ~id ~src ~dst;
+            (src, dst))
+      in
+      let expect =
+        match flows with
+        | [] -> 0
+        | _ ->
+            let g = Bgraph.create ~nl ~nr (Array.of_list flows) in
+            let exp = Bmatching.expand g ~cl ~cr in
+            Matching.max_cardinality_size exp.Bmatching.graph
+      in
+      Bmatching.Incremental.cardinality t = expect)
+
+let prop_incremental_matches_scratch =
+  QCheck2.Test.make ~name:"incremental b-matching = from-scratch after churn" ~count:150
+    QCheck2.Gen.(quad (int_bound 1_000_000) (int_range 1 5) (int_range 1 5) (int_range 1 60))
+    (fun (seed, nl, nr, steps) ->
+      let prng = Flowsched_util.Prng.create (seed + 11) in
+      let cl = Array.init nl (fun _ -> 1 + Flowsched_util.Prng.int prng 3) in
+      let cr = Array.init nr (fun _ -> 1 + Flowsched_util.Prng.int prng 3) in
+      let t = Bmatching.incremental ~nl ~nr ~cap_in:cl ~cap_out:cr in
+      let live = Hashtbl.create 16 in
+      let next_id = ref 0 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let r = Flowsched_util.Prng.int prng 10 in
+        if r < 5 || Hashtbl.length live = 0 then begin
+          let src = Flowsched_util.Prng.int prng nl in
+          let dst = Flowsched_util.Prng.int prng nr in
+          let id = !next_id in
+          incr next_id;
+          Bmatching.Incremental.add t ~id ~src ~dst;
+          Hashtbl.add live id (src, dst)
+        end
+        else if r < 8 then begin
+          (* withdraw a uniformly random live flow *)
+          let ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) live []) in
+          let id = List.nth ids (Flowsched_util.Prng.int prng (List.length ids)) in
+          Bmatching.Incremental.remove t id;
+          Hashtbl.remove live id
+        end
+        else begin
+          (* slot step: the matched set must be live, duplicate-free, and
+             capacity-feasible *)
+          let ids = Bmatching.Incremental.take_matched t in
+          let dl = Array.make nl 0 and dr = Array.make nr 0 in
+          List.iter
+            (fun id ->
+              match Hashtbl.find_opt live id with
+              | None -> ok := false
+              | Some (s, d) ->
+                  dl.(s) <- dl.(s) + 1;
+                  dr.(d) <- dr.(d) + 1;
+                  Hashtbl.remove live id)
+            ids;
+          Array.iteri (fun u d -> if d > cl.(u) then ok := false) dl;
+          Array.iteri (fun v d -> if d > cr.(v) then ok := false) dr
+        end;
+        let snapshot = Hashtbl.fold (fun id (s, d) acc -> (id, s, d) :: acc) live [] in
+        if Bmatching.Incremental.cardinality t <> scratch_cardinality ~nl ~nr ~cl ~cr snapshot
+        then ok := false;
+        if Bmatching.Incremental.pending t <> Hashtbl.length live then ok := false
+      done;
+      !ok)
+
 let prop_b_matching_decomposition =
   QCheck2.Test.make ~name:"b-matching decomposition valid and tight" ~count:300
     QCheck2.Gen.(
@@ -263,6 +400,8 @@ let () =
         prop_coloring_proper_and_tight;
         prop_bvn_classes_are_matchings;
         prop_b_matching_decomposition;
+        prop_incremental_matches_expand_on_unit_caps;
+        prop_incremental_matches_scratch;
       ]
   in
   Alcotest.run "flowsched_bipartite"
@@ -304,6 +443,11 @@ let () =
         [
           Alcotest.test_case "round robin expansion" `Quick test_expand_round_robin;
           Alcotest.test_case "rejects zero capacity" `Quick test_expand_rejects_zero_capacity;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "rebinds oldest first" `Quick test_incremental_rebind_oldest_first;
+          Alcotest.test_case "augments across pairs" `Quick test_incremental_augments_across_pairs;
         ] );
       ("properties", props);
     ]

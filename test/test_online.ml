@@ -61,9 +61,9 @@ let test_engine_stalls_detected () =
   let lazy_policy = { Policy.name = "lazy"; select = (fun _ -> []) } in
   let inst = mk ~m:1 [ (0, 0, 1, 0) ] in
   try
-    ignore (Engine.run_instance lazy_policy inst);
+    ignore (Engine.run_instance ~max_rounds:100 lazy_policy inst);
     Alcotest.fail "expected stall failure"
-  with Failure _ -> ()
+  with Engine.Horizon_exceeded { round = 100; pending = 1 } -> ()
 
 let test_fifo_work_conserving () =
   let inst = random_instance 11 ~m:3 ~n:15 ~maxrel:4 in

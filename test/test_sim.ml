@@ -47,6 +47,60 @@ let test_uniform_total () =
   Alcotest.(check int) "n exact" 17 (Instance.n inst);
   Alcotest.(check bool) "releases bounded" true (Instance.last_release inst <= 4)
 
+(* --- arrival streams --- *)
+
+(* The slot-t arrivals of a stream must be exactly the release-t flows of
+   the batch instance built from the same seed, in generation order — the
+   prefix property the serve layer leans on to replay served traces through
+   the batch engine. *)
+let check_stream_prefix name kind inst ~m ~rate ~rounds ~seed =
+  let s = Workload.stream kind ~m ~rate ~seed in
+  let streamed = Array.init rounds (fun _ -> Workload.stream_next s) in
+  Alcotest.(check int) (name ^ ": slots generated") rounds (Workload.stream_slot s);
+  let by_release = Array.make rounds [] in
+  Array.iter
+    (fun (f : Flow.t) ->
+      by_release.(f.Flow.release) <-
+        (f.Flow.src, f.Flow.dst, f.Flow.demand) :: by_release.(f.Flow.release))
+    inst.Instance.flows;
+  for t = 0 to rounds - 1 do
+    Alcotest.(check (list (triple int int int)))
+      (Printf.sprintf "%s: slot %d arrivals" name t)
+      (List.rev by_release.(t))
+      streamed.(t)
+  done
+
+let test_stream_prefix_uniform () =
+  check_stream_prefix "uniform" Workload.Uniform
+    (Workload.poisson ~m:5 ~rate:2.5 ~rounds:40 ~seed:42)
+    ~m:5 ~rate:2.5 ~rounds:40 ~seed:42
+
+let test_stream_prefix_demands () =
+  check_stream_prefix "demands" (Workload.Uniform_demands 3)
+    (Workload.poisson_with_demands ~m:4 ~rate:2.0 ~rounds:30 ~max_demand:3 ~seed:5)
+    ~m:4 ~rate:2.0 ~rounds:30 ~seed:5
+
+let test_stream_prefix_skewed () =
+  check_stream_prefix "skewed" (Workload.Skewed 1.2)
+    (Workload.skewed ~m:6 ~rate:3.0 ~rounds:30 ~alpha:1.2 ~seed:8 ())
+    ~m:6 ~rate:3.0 ~rounds:30 ~seed:8
+
+let test_stream_prefix_hotspot () =
+  check_stream_prefix "hotspot" (Workload.Hotspot 0.4)
+    (Workload.hotspot ~m:6 ~rate:3.0 ~rounds:30 ~fraction:0.4 ~seed:11 ())
+    ~m:6 ~rate:3.0 ~rounds:30 ~seed:11
+
+(* --- horizon guard --- *)
+
+let test_horizon_exceeded () =
+  let never = { Policy.name = "never"; select = (fun _ -> []) } in
+  let inst = Instance.of_flows ~m:2 ~m':2 [ (0, 1, 1, 0); (1, 0, 1, 2) ] in
+  match Engine.run_instance ~max_rounds:37 never inst with
+  | _ -> Alcotest.fail "expected Horizon_exceeded"
+  | exception Engine.Horizon_exceeded { round; pending } ->
+      Alcotest.(check int) "round reached" 37 round;
+      Alcotest.(check int) "queue depth carried" 2 pending
+
 (* --- adaptive engine plumbing --- *)
 
 let test_adaptive_ids_sequential () =
@@ -345,6 +399,14 @@ let () =
           Alcotest.test_case "mean count" `Slow test_poisson_mean_count;
           Alcotest.test_case "with demands" `Quick test_poisson_with_demands;
           Alcotest.test_case "uniform total" `Quick test_uniform_total;
+        ] );
+      ( "streams",
+        [
+          Alcotest.test_case "uniform prefix = batch" `Quick test_stream_prefix_uniform;
+          Alcotest.test_case "demands prefix = batch" `Quick test_stream_prefix_demands;
+          Alcotest.test_case "skewed prefix = batch" `Quick test_stream_prefix_skewed;
+          Alcotest.test_case "hotspot prefix = batch" `Quick test_stream_prefix_hotspot;
+          Alcotest.test_case "horizon exceeded is typed" `Quick test_horizon_exceeded;
         ] );
       ( "adaptive-engine",
         [
