@@ -74,13 +74,15 @@ chaos-smoke: build
 	  || (echo "chaos-smoke: resumed artifact diverges" && exit 1)
 	@rm -f _chaos_ref.json _chaos_run.json _chaos_resume.json _chaos_ckpt.jsonl _chaos_*.f
 
-# Cold-vs-warm simplex pipeline bench on representative figure-cell LPs.
-# Exits non-zero if any warm-started solve disagrees with the cold objective
-# beyond 1e-6; writes BENCH_lp.json (per-cell iterations + wall time) so
-# future changes have a perf trajectory to compare against.
+# Cold-vs-warm simplex pipeline bench on representative figure-cell LPs,
+# plus the large-instance tier (single ART round-LPs at 240 and 600 flows,
+# the sparse engine's target regime) in smoke form.  Exits non-zero if any
+# warm-started solve disagrees with the cold objective beyond 1e-6; writes
+# BENCH_lp.json (per-cell pivots, sparsity counters, wall time) so future
+# changes have a perf trajectory to compare against.
 bench-lp:
-	dune exec bench/main.exe -- lp --json
-	@grep -q '"schema": "flowsched-bench-lp/1"' BENCH_lp.json \
+	dune exec bench/main.exe -- lp --json --smoke
+	@grep -q '"schema": "flowsched-bench-lp/2"' BENCH_lp.json \
 	  && echo "bench-lp: OK (BENCH_lp.json valid)" \
 	  || (echo "bench-lp: BAD artifact" && exit 1)
 

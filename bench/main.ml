@@ -548,11 +548,18 @@ type lp_side = {
   warm_accepted : int;
   warm_attempts : int;
   phase1_skipped : int;
+  basis_nnz : int;
+  factor_nnz : int;
+  eta_nnz : int;
+  bound_flips : int;
   wall_s : float;
   art_objective : float;
   art_schedule : int list;
   rho : int;
 }
+
+let fill_ratio ~basis_nnz ~factor_nnz =
+  if basis_nnz > 0 then float_of_int factor_nnz /. float_of_int basis_nnz else 0.
 
 (* Run the two warmable pipelines — full iterative rounding and the full
    rho binary search — with warm starts on or off, under counter and
@@ -571,6 +578,10 @@ let lp_run_side ~warm inst =
     warm_accepted = c.Simplex.warm_accepted;
     warm_attempts = c.Simplex.warm_attempts;
     phase1_skipped = c.Simplex.phase1_skipped;
+    basis_nnz = c.Simplex.basis_nnz;
+    factor_nnz = c.Simplex.factor_nnz;
+    eta_nnz = c.Simplex.eta_nnz;
+    bound_flips = c.Simplex.bound_flips;
     wall_s;
     art_objective = diag.Iterative_rounding.lp_objective;
     art_schedule =
@@ -587,12 +598,59 @@ let lp_side_json s =
       ("warm_accepted", Json.Int s.warm_accepted);
       ("warm_attempts", Json.Int s.warm_attempts);
       ("phase1_skipped", Json.Int s.phase1_skipped);
+      ("basis_nnz", Json.Int s.basis_nnz);
+      ("factor_nnz", Json.Int s.factor_nnz);
+      ("eta_nnz", Json.Int s.eta_nnz);
+      ("bound_flips", Json.Int s.bound_flips);
+      ( "fill_ratio",
+        Json.float (fill_ratio ~basis_nnz:s.basis_nnz ~factor_nnz:s.factor_nnz) );
       ("wall_s", Json.float s.wall_s);
       ("art_objective", Json.float s.art_objective);
       ("rho", Json.Int s.rho);
     ]
 
-let lp_bench ?(json = false) () =
+(* Large-instance tier: a single ART round-LP solved cold, then re-solved
+   warm from its own optimal basis.  These instances are 4-20x the flow
+   count of the pipeline cells above — the regime the sparse engine exists
+   for — so the artifact records the sparsity counters (basis/factor/eta
+   nnz, LU fill-in) alongside wall clock.  The gate is exactness: the warm
+   re-solve must reproduce the cold objective to 1e-6. *)
+let lp_large_run ?(explicit_ub_rows = false) ~label ~n () =
+  let inst = Workload.uniform_total ~m:4 ~n ~max_release:8 ~seed:77 in
+  let built = Art_lp.build_round_lp ~explicit_ub_rows inst in
+  let model = built.Art_lp.model in
+  Simplex.reset_counters ();
+  let t0 = Unix.gettimeofday () in
+  let cold = Simplex.solve_or_fail model in
+  let cold_s = Unix.gettimeofday () -. t0 in
+  let c = Simplex.read_counters () in
+  let t1 = Unix.gettimeofday () in
+  let warm = Simplex.solve_or_fail ~warm:(Array.to_list cold.Simplex.basis) model in
+  let warm_s = Unix.gettimeofday () -. t1 in
+  let agree = abs_float (cold.Simplex.objective -. warm.Simplex.objective) <= 1e-6 in
+  let fill = fill_ratio ~basis_nnz:c.Simplex.basis_nnz ~factor_nnz:c.Simplex.factor_nnz in
+  ( Json.Obj
+      [
+        ("cell", Json.Str label);
+        ("flows", Json.Int n);
+        ("lp_rows", Json.Int (Flowsched_lp.Model.num_rows model));
+        ("lp_cols", Json.Int (Flowsched_lp.Model.num_vars model));
+        ("cold_pivots", Json.Int cold.Simplex.iterations);
+        ("warm_pivots", Json.Int warm.Simplex.iterations);
+        ("objective", Json.float cold.Simplex.objective);
+        ("refactorizations", Json.Int c.Simplex.refactorizations);
+        ("basis_nnz", Json.Int c.Simplex.basis_nnz);
+        ("factor_nnz", Json.Int c.Simplex.factor_nnz);
+        ("eta_nnz", Json.Int c.Simplex.eta_nnz);
+        ("bound_flips", Json.Int c.Simplex.bound_flips);
+        ("fill_ratio", Json.float fill);
+        ("cold_wall_s", Json.float cold_s);
+        ("warm_wall_s", Json.float warm_s);
+        ("agree", Json.Bool agree);
+      ],
+    (label, n, Flowsched_lp.Model.num_rows model, cold, warm, c, fill, cold_s, warm_s, agree) )
+
+let lp_bench ?(json = false) ?(smoke = false) () =
   section "LP warm-start bench — cold vs warm simplex across the offline pipelines";
   Printf.printf
     "Each cell runs full iterative rounding (LP (5)-(8)) and the full rho binary\n\
@@ -693,12 +751,60 @@ let lp_bench ?(json = false) () =
   in
   Printf.printf "overall pivots: %d cold -> %d warm (%.0f%% reduction)\n%!" !total_cold
     !total_warm overall;
+  (* ---- large-instance tier ---- *)
+  section "LP large-instance tier — single ART round-LP, sparse-engine regime";
+  let large_specs =
+    (* Smoke form (what `make bench-lp` runs) keeps the two sizes that fit a
+       CI budget; the full form adds a 20x cell for manual perf work. *)
+    if smoke then [ ("uniform m=4 n=240", 240); ("uniform m=4 n=600", 600) ]
+    else [ ("uniform m=4 n=240", 240); ("uniform m=4 n=600", 600); ("uniform m=4 n=1200", 1200) ]
+  in
+  let lt =
+    Table.create
+      [
+        ("cell", Table.Left);
+        ("rows", Table.Right);
+        ("cold piv", Table.Right);
+        ("warm piv", Table.Right);
+        ("fill", Table.Right);
+        ("eta nnz", Table.Right);
+        ("flips", Table.Right);
+        ("cold s", Table.Right);
+        ("warm s", Table.Right);
+        ("agree", Table.Right);
+      ]
+  in
+  let large_rows =
+    List.map
+      (fun (label, n) ->
+        let cell, (_, _, rows, cold, warm, c, fill, cold_s, warm_s, agree) =
+          lp_large_run ~label ~n ()
+        in
+        if not agree then incr mismatches;
+        Table.add_row lt
+          [
+            label;
+            string_of_int rows;
+            string_of_int cold.Simplex.iterations;
+            string_of_int warm.Simplex.iterations;
+            Printf.sprintf "%.2f" fill;
+            string_of_int c.Simplex.eta_nnz;
+            string_of_int c.Simplex.bound_flips;
+            Table.cell_float ~decimals:3 cold_s;
+            Table.cell_float ~decimals:3 warm_s;
+            string_of_bool agree;
+          ];
+        cell)
+      large_specs
+  in
+  Table.print lt;
   if json then begin
     let artifact =
       Json.Obj
         [
-          ("schema", Json.Str "flowsched-bench-lp/1");
+          ("schema", Json.Str "flowsched-bench-lp/2");
           ("cells", Json.Arr cell_rows);
+          ("large_cells", Json.Arr large_rows);
           ("total_cold_pivots", Json.Int !total_cold);
           ("total_warm_pivots", Json.Int !total_warm);
           ("overall_pivot_reduction_pct", Json.float overall);
@@ -1061,7 +1167,20 @@ let () =
   | "ablations" :: _ -> ablations ~jobs ()
   | "adversarial" :: _ -> adversarial ~jobs ()
   | "micro" :: _ -> micro ()
-  | "lp" :: rest -> lp_bench ~json:(List.mem "--json" rest) ()
+  | "lp" :: rest ->
+      lp_bench ~json:(List.mem "--json" rest) ~smoke:(List.mem "--smoke" rest) ()
+  | "lp-large" :: n :: rest ->
+      (* One large-tier cell on its own, for timing work on the LP engine. *)
+      let n = int_of_string n in
+      let explicit_ub_rows = List.mem "--rows" rest in
+      let _, (_, _, rows, cold, warm, c, fill, cold_s, warm_s, agree) =
+        lp_large_run ~explicit_ub_rows ~label:"probe" ~n ()
+      in
+      Printf.printf
+        "n=%d rows=%d cold_piv=%d warm_piv=%d refact=%d fill=%.2f eta_nnz=%d flips=%d \
+         cold=%.3fs warm=%.3fs agree=%b\n"
+        n rows cold.Simplex.iterations warm.Simplex.iterations c.Simplex.refactorizations
+        fill c.Simplex.eta_nnz c.Simplex.bound_flips cold_s warm_s agree
   | "serve" :: rest -> serve_bench ~json:(List.mem "--json" rest) ()
   | other :: _ ->
       Printf.eprintf

@@ -148,6 +148,13 @@ let lp_bound path stats trace metrics =
     Printf.printf "warm starts accepted:      %d/%d\n" c.Simplex.warm_accepted
       c.Simplex.warm_attempts;
     Printf.printf "phase-1 skipped:           %d\n" c.Simplex.phase1_skipped;
+    Printf.printf "basis nnz:                 %d\n" c.Simplex.basis_nnz;
+    Printf.printf "factor nnz:                %d\n" c.Simplex.factor_nnz;
+    Printf.printf "eta nnz:                   %d\n" c.Simplex.eta_nnz;
+    Printf.printf "bound flips:               %d\n" c.Simplex.bound_flips;
+    if c.Simplex.basis_nnz > 0 then
+      Printf.printf "LU fill-in ratio:          %.3f\n"
+        (float_of_int c.Simplex.factor_nnz /. float_of_int c.Simplex.basis_nnz);
     Printf.printf "phase-1 time:              %.4fs\n" c.Simplex.phase1_seconds;
     Printf.printf "phase-2 time:              %.4fs\n" c.Simplex.phase2_seconds
   end

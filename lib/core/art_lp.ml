@@ -29,7 +29,7 @@ let default_horizon inst =
 
 (* Shared construction: per-flow variables over [release, horizon), demand
    rows; the capacity rows and objective differ between the two programs. *)
-let build ~objective_term ~add_capacity_rows ?horizon inst =
+let build ~objective_term ~add_capacity_rows ?(explicit_ub_rows = false) ?horizon inst =
   let horizon = match horizon with Some h -> h | None -> default_horizon inst in
   if horizon <= Instance.last_release inst then
     invalid_arg "Art_lp: horizon does not cover all release times";
@@ -43,7 +43,19 @@ let build ~objective_term ~add_capacity_rows ?horizon inst =
       let vars = ref [] in
       for t = horizon - 1 downto f.Flow.release do
         let obj = objective_term inst f t in
-        let v = Model.add_var ~name:(Printf.sprintf "b_%d_%d" e t) ~obj model in
+        (* b_{e,t} <= d_e is non-binding at the optimum (the positive
+           objective coefficients already force the demand row to hold with
+           equality), but declaring it bounds every column for the simplex
+           engine; [explicit_ub_rows] instead emits it as constraint rows,
+           kept as a parity oracle for tests. *)
+        let ub = if explicit_ub_rows then infinity else float_of_int f.Flow.demand in
+        let v = Model.add_var ~name:(Printf.sprintf "b_%d_%d" e t) ~obj ~ub model in
+        if explicit_ub_rows then
+          ignore
+            (Model.add_constraint
+               ~name:(Printf.sprintf "ub_%d_%d" e t)
+               model [ (v, 1.) ] Model.Le
+               (float_of_int f.Flow.demand));
         Hashtbl.add tbl (e, t) v;
         vars := (t, v) :: !vars
       done;
@@ -132,18 +144,20 @@ let interval_capacity_rows model inst horizon tbl =
   add "in" inst.Instance.cap_in by_in;
   add "out" inst.Instance.cap_out by_out
 
-let build_round_lp ?horizon inst =
+let build_round_lp ?explicit_ub_rows ?horizon inst =
   let objective_term inst (f : Flow.t) t =
     let kappa = float_of_int (Instance.kappa inst f) in
     (float_of_int (t - f.Flow.release) /. float_of_int f.Flow.demand) +. (1. /. (2. *. kappa))
   in
-  build ~objective_term ~add_capacity_rows:round_capacity_rows ?horizon inst
+  build ~objective_term ~add_capacity_rows:round_capacity_rows ?explicit_ub_rows ?horizon
+    inst
 
-let build_interval_lp ?horizon inst =
+let build_interval_lp ?explicit_ub_rows ?horizon inst =
   let objective_term _inst (f : Flow.t) t =
     (float_of_int (t - f.Flow.release) /. float_of_int f.Flow.demand) +. 0.5
   in
-  build ~objective_term ~add_capacity_rows:interval_capacity_rows ?horizon inst
+  build ~objective_term ~add_capacity_rows:interval_capacity_rows ?explicit_ub_rows
+    ?horizon inst
 
 type bound = { total : float; average : float; fractional : float array }
 

@@ -35,15 +35,21 @@ val default_horizon : Flowsched_switch.Instance.t -> int
     uniformly over the rounds after the last release is feasible within this
     horizon, so the LP optimum is not constrained by it. *)
 
-val build_round_lp : ?horizon:int -> Flowsched_switch.Instance.t -> built
+val build_round_lp :
+  ?explicit_ub_rows:bool -> ?horizon:int -> Flowsched_switch.Instance.t -> built
 (** LP (1)–(4): variables [b_{e,t}], demand rows (2), per-round port
     capacity rows (3), objective [sum ((t - r_e)/d_e + 1/(2 kappa_e))
-    b_{e,t}]. *)
+    b_{e,t}].  Each variable carries the declared bound [b_{e,t} <= d_e]
+    (non-binding at the optimum); [explicit_ub_rows] (default [false])
+    emits those bounds as constraint rows instead — slower, kept as a
+    parity oracle for tests. *)
 
-val build_interval_lp : ?horizon:int -> Flowsched_switch.Instance.t -> built
+val build_interval_lp :
+  ?explicit_ub_rows:bool -> ?horizon:int -> Flowsched_switch.Instance.t -> built
 (** LP (5)–(8): same variables and demand rows, capacity rows aggregated
     over windows [(4(a-1), 4a]] with right-hand side [4 c_p], objective
-    [sum ((t - r_e)/d_e + 1/2) b_{e,t}]. *)
+    [sum ((t - r_e)/d_e + 1/2) b_{e,t}].  [explicit_ub_rows] as in
+    {!build_round_lp}. *)
 
 type bound = {
   total : float;  (** LP optimum: lower bound on total response time. *)

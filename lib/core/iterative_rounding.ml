@@ -95,7 +95,8 @@ let solve_lp ?warm inst supports unfixed intervals =
          | Simplex.Basic_var v ->
              Option.map (fun (e, t) -> Wvar (e, t)) (Hashtbl.find_opt var_rev v)
          | Simplex.Basic_slack r ->
-             Option.map (fun e -> Wsurplus e) (Hashtbl.find_opt demand_row_rev r))
+             Option.map (fun e -> Wsurplus e) (Hashtbl.find_opt demand_row_rev r)
+         | Simplex.Nonbasic_upper _ -> None (* this model declares no bounds *))
   in
   (values, res.Simplex.objective, basis_keys)
 

@@ -19,7 +19,7 @@ let active_of_deadlines inst deadlines =
     if d < r then invalid_arg "Mrt_lp.active_of_deadlines: deadline before release";
     List.init (d - r + 1) (fun i -> r + i)
 
-type basis_key = Bvar of int * int | Bcap of bool * int * int
+type basis_key = Bvar of int * int | Bcap of bool * int * int | Bub of int * int
 
 type fractional = {
   values : (int * int, float) Hashtbl.t;
@@ -27,7 +27,7 @@ type fractional = {
   basis : basis_key list;
 }
 
-let solve ?residual ?warm inst active =
+let solve ?(explicit_ub_rows = false) ?residual ?warm inst active =
   let n = Instance.n inst in
   let model = Model.create () in
   let var = Hashtbl.create (4 * n) in
@@ -42,7 +42,17 @@ let solve ?residual ?warm inst active =
         (fun t ->
           if t < f.Flow.release then
             invalid_arg "Mrt_lp.solve: active round before release";
-          let v = Model.add_var ~name:(Printf.sprintf "x_%d_%d" e t) model in
+          (* x_{e,t} <= 1 is implied by the assignment row, but declaring it
+             lets the bounded-variable simplex park the column at either
+             bound; [explicit_ub_rows] keeps the old row-based formulation
+             around as a parity oracle. *)
+          let ub = if explicit_ub_rows then infinity else 1. in
+          let v = Model.add_var ~name:(Printf.sprintf "x_%d_%d" e t) ~ub model in
+          if explicit_ub_rows then
+            ignore
+              (Model.add_constraint
+                 ~name:(Printf.sprintf "ub_%d_%d" e t)
+                 model [ (v, 1.) ] Model.Le 1.);
           Hashtbl.add var (e, t) v;
           Hashtbl.add var_rev v (e, t);
           let push key =
@@ -95,7 +105,11 @@ let solve ?residual ?warm inst active =
                | Bcap (i, p, t) ->
                    Option.map
                      (fun r -> Simplex.Basic_slack r)
-                     (Hashtbl.find_opt cap_row (i, p, t)))
+                     (Hashtbl.find_opt cap_row (i, p, t))
+               | Bub (e, t) ->
+                   Option.map
+                     (fun v -> Simplex.Nonbasic_upper v)
+                     (Hashtbl.find_opt var (e, t)))
              keys)
   in
   let res = Simplex.solve ?warm model in
@@ -111,7 +125,9 @@ let solve ?residual ?warm inst active =
              | Simplex.Basic_var v ->
                  Option.map (fun (e, t) -> Bvar (e, t)) (Hashtbl.find_opt var_rev v)
              | Simplex.Basic_slack r ->
-                 Option.map (fun (i, p, t) -> Bcap (i, p, t)) (Hashtbl.find_opt cap_row_rev r))
+                 Option.map (fun (i, p, t) -> Bcap (i, p, t)) (Hashtbl.find_opt cap_row_rev r)
+             | Simplex.Nonbasic_upper v ->
+                 Option.map (fun (e, t) -> Bub (e, t)) (Hashtbl.find_opt var_rev v))
       in
       Some { values; rounds = Hashtbl.fold (fun t () acc -> t :: acc) rounds []; basis }
 

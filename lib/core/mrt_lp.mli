@@ -16,11 +16,13 @@ val active_of_rho : Flowsched_switch.Instance.t -> int -> active
 val active_of_deadlines : Flowsched_switch.Instance.t -> int array -> active
 (** [R(e) = \[r_e, deadline_e\]] (inclusive deadline rounds). *)
 
-type basis_key = Bvar of int * int | Bcap of bool * int * int
-(** Model-independent description of one basic variable of an optimal
-    basis: a flow variable [x_{e,t}] or the slack of the capacity row
-    [(is_input, port, round)].  Stable across re-solves with different
-    active sets, so the basis of one solve can seed a related one. *)
+type basis_key = Bvar of int * int | Bcap of bool * int * int | Bub of int * int
+(** Model-independent description of one entry of an optimal basis: a basic
+    flow variable [x_{e,t}], the basic slack of the capacity row
+    [(is_input, port, round)], or a flow variable parked nonbasic at its
+    declared upper bound [x_{e,t} = 1].  Stable across re-solves with
+    different active sets, so the basis of one solve can seed a related
+    one. *)
 
 type fractional = {
   values : (int * int, float) Hashtbl.t;  (** [(flow, round) -> x_{e,t}]. *)
@@ -29,6 +31,7 @@ type fractional = {
 }
 
 val solve :
+  ?explicit_ub_rows:bool ->
   ?residual:(bool * int * int -> int) ->
   ?warm:basis_key list ->
   Flowsched_switch.Instance.t -> active -> fractional option
@@ -38,6 +41,8 @@ val solve :
     for already-fixed flows.  Restricting each flow to a sub-list of its
     original active rounds is expressed by passing a narrower [active].
     [warm] seeds the simplex basis from a previous solve's [basis]; keys
-    not present in this model are ignored. *)
+    not present in this model are ignored.  [explicit_ub_rows] (default
+    [false]) encodes [x_{e,t} <= 1] as explicit constraint rows instead of
+    declared variable bounds — slower, kept as a parity oracle for tests. *)
 
 val is_fractionally_feasible : Flowsched_switch.Instance.t -> active -> bool

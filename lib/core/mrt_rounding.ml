@@ -111,6 +111,10 @@ let round_loop ~warm_start inst active =
                     Option.map
                       (fun i -> Mrt_lp.Bvar (i, t))
                       (Hashtbl.find_opt sub_of_global e)
+                | Mrt_lp.Bub (e, t) ->
+                    Option.map
+                      (fun i -> Mrt_lp.Bub (i, t))
+                      (Hashtbl.find_opt sub_of_global e)
                 | Mrt_lp.Bcap _ as k -> Some k)
               keys)
           !warm
@@ -123,6 +127,7 @@ let round_loop ~warm_start inst active =
             (List.filter_map
                (function
                  | Mrt_lp.Bvar (i, t) -> Some (Mrt_lp.Bvar (ids.(i), t))
+                 | Mrt_lp.Bub (i, t) -> Some (Mrt_lp.Bub (ids.(i), t))
                  | Mrt_lp.Bcap _ as k -> Some k)
                frac.Mrt_lp.basis);
         let progressed = ref false in

@@ -31,12 +31,13 @@ type row_data = { terms : (var * float) list; sense : sense; rhs : float; rname 
 
 type t = {
   mutable objs : float array;
+  mutable ubs : float array;
   mutable vnames : string array;
   mutable nvars : int;
   rows : row_data Dyn.t;
 }
 
-let create () = { objs = [||]; vnames = [||]; nvars = 0; rows = Dyn.create () }
+let create () = { objs = [||]; ubs = [||]; vnames = [||]; nvars = 0; rows = Dyn.create () }
 
 let grow_vars t =
   if t.nvars = Array.length t.objs then begin
@@ -44,15 +45,20 @@ let grow_vars t =
     let objs = Array.make cap 0. in
     Array.blit t.objs 0 objs 0 t.nvars;
     t.objs <- objs;
+    let ubs = Array.make cap infinity in
+    Array.blit t.ubs 0 ubs 0 t.nvars;
+    t.ubs <- ubs;
     let vnames = Array.make cap "" in
     Array.blit t.vnames 0 vnames 0 t.nvars;
     t.vnames <- vnames
   end
 
-let add_var ?name ?(obj = 0.) t =
+let add_var ?name ?(obj = 0.) ?(ub = infinity) t =
+  if ub < 0. || Float.is_nan ub then invalid_arg "Model.add_var: negative upper bound";
   grow_vars t;
   let v = t.nvars in
   t.objs.(v) <- obj;
+  t.ubs.(v) <- ub;
   t.vnames.(v) <- (match name with Some n -> n | None -> Printf.sprintf "x%d" v);
   t.nvars <- t.nvars + 1;
   v
@@ -82,11 +88,17 @@ let set_obj t v c =
   if v < 0 || v >= t.nvars then invalid_arg "Model.set_obj";
   t.objs.(v) <- c
 
+let set_upper t v ub =
+  if v < 0 || v >= t.nvars then invalid_arg "Model.set_upper";
+  if ub < 0. || Float.is_nan ub then invalid_arg "Model.set_upper: negative upper bound";
+  t.ubs.(v) <- ub
+
 let num_vars t = t.nvars
 let num_rows t = Dyn.length t.rows
 let var_name t v = t.vnames.(v)
 let row_name t r = (Dyn.get t.rows r).rname
 let objective_coeff t v = t.objs.(v)
+let var_upper t v = t.ubs.(v)
 let row_terms t r = (Dyn.get t.rows r).terms
 let row_sense t r = (Dyn.get t.rows r).sense
 let row_rhs t r = (Dyn.get t.rows r).rhs
@@ -99,7 +111,7 @@ let is_feasible ?(tol = 1e-6) t x =
   else begin
     let ok = ref true in
     for v = 0 to t.nvars - 1 do
-      if x.(v) < -.tol then ok := false
+      if x.(v) < -.tol || x.(v) > t.ubs.(v) +. tol then ok := false
     done;
     Dyn.iter
       (fun { terms; sense; rhs; _ } ->
@@ -114,6 +126,35 @@ let is_feasible ?(tol = 1e-6) t x =
       t.rows;
     !ok
   end
+
+type csc = { col_ptr : int array; row_ind : int array; values : float array }
+
+(* Column-compressed form of the structural constraint matrix, built in one
+   pass over the rows so each column's entries come out in increasing row
+   order.  This is the once-per-solve layout the simplex engine works from,
+   replacing per-pivot walks over the [terms] assoc lists. *)
+let to_csc t =
+  let n = t.nvars and m = num_rows t in
+  let col_ptr = Array.make (n + 1) 0 in
+  Dyn.iter
+    (fun r -> List.iter (fun (v, _) -> col_ptr.(v + 1) <- col_ptr.(v + 1) + 1) r.terms)
+    t.rows;
+  for v = 1 to n do
+    col_ptr.(v) <- col_ptr.(v) + col_ptr.(v - 1)
+  done;
+  let nnz = col_ptr.(n) in
+  let row_ind = Array.make nnz 0 and values = Array.make nnz 0. in
+  let fill = Array.sub col_ptr 0 (max n 1) in
+  for r = 0 to m - 1 do
+    List.iter
+      (fun (v, c) ->
+        let k = fill.(v) in
+        row_ind.(k) <- r;
+        values.(k) <- c;
+        fill.(v) <- k + 1)
+      (Dyn.get t.rows r).terms
+  done;
+  { col_ptr; row_ind; values }
 
 let pp_stats fmt t =
   let nnz = ref 0 in

@@ -21,9 +21,13 @@ type sense = Le | Ge | Eq
 
 val create : unit -> t
 
-val add_var : ?name:string -> ?obj:float -> t -> var
+val add_var : ?name:string -> ?obj:float -> ?ub:float -> t -> var
 (** Declares a non-negative variable with objective coefficient [obj]
-    (default [0.]). *)
+    (default [0.]) and declared upper bound [ub] (default [infinity], i.e.
+    unbounded above).  A finite bound is enforced by the simplex engine's
+    bounded-variable ratio test rather than an explicit [x <= ub] row, so it
+    adds no row to the model.  Raises [Invalid_argument] on a negative or
+    NaN bound. *)
 
 val add_constraint : ?name:string -> t -> (var * float) list -> sense -> float -> row
 (** [add_constraint t terms sense rhs] adds the row [terms sense rhs].
@@ -33,11 +37,18 @@ val add_constraint : ?name:string -> t -> (var * float) list -> sense -> float -
 val set_obj : t -> var -> float -> unit
 (** Overwrites the objective coefficient of a variable. *)
 
+val set_upper : t -> var -> float -> unit
+(** Overwrites the declared upper bound of a variable. *)
+
 val num_vars : t -> int
 val num_rows : t -> int
 val var_name : t -> var -> string
 val row_name : t -> row -> string
 val objective_coeff : t -> var -> float
+
+val var_upper : t -> var -> float
+(** Declared upper bound; [infinity] when the variable is unbounded. *)
+
 val row_terms : t -> row -> (var * float) list
 val row_sense : t -> row -> sense
 val row_rhs : t -> row -> float
@@ -46,8 +57,17 @@ val row_activity : t -> float array -> row -> float
 (** [row_activity t x r] is [a_r' x] for a full assignment [x]. *)
 
 val is_feasible : ?tol:float -> t -> float array -> bool
-(** Checks all rows and non-negativity within tolerance [tol]
-    (default [1e-6]). *)
+(** Checks all rows, non-negativity and declared upper bounds within
+    tolerance [tol] (default [1e-6]). *)
+
+type csc = { col_ptr : int array; row_ind : int array; values : float array }
+(** Compressed sparse column form of the structural constraint matrix:
+    column [v]'s entries live at indices [col_ptr.(v) .. col_ptr.(v+1) - 1]
+    of [row_ind]/[values], in increasing row order. *)
+
+val to_csc : t -> csc
+(** One-pass CSC snapshot of the current rows.  Duplicate terms were already
+    merged by {!add_constraint}, so each (row, column) pair appears once. *)
 
 val pp_stats : Format.formatter -> t -> unit
 (** One-line size summary: variables, rows, non-zeros. *)

@@ -1,13 +1,29 @@
-(** Two-phase revised simplex over {!Model}, with warm starts.
+(** Two-phase sparse revised simplex over {!Model}, with warm starts and
+    bounded variables.
 
-    The solver maintains a dense basis inverse updated in product form with
-    periodic refactorization and falls back to Bland's rule after long
-    degenerate streaks so it cannot cycle.  Pricing is partial: a rotating
-    candidate window is scanned per pivot and a full scan (against freshly
-    computed duals) only confirms optimality.  Optimal results are vertex
-    (basic feasible) solutions: at most [num_rows] variables are non-zero,
-    which is exactly the property the iterative-rounding procedures of the
-    paper need from the LP oracle.
+    The constraint matrix is held in compressed sparse column form (built
+    once per solve) and the basis is represented by a sparse LU
+    factorization ({!Sparse_lu}: Gilbert–Peierls elimination with threshold
+    partial pivoting and a static Markowitz column order) plus a
+    product-form eta file appended on each pivot; the file is folded back
+    into a fresh factorization when it grows too long, accumulates too much
+    fill relative to the factors, or after an ill-conditioned pivot.  Both
+    ftran and btran therefore run in time proportional to the nonzeros
+    involved rather than [rows^2].
+
+    The solver falls back to Bland's rule after long degenerate streaks so
+    it cannot cycle.  Pricing is partial with devex reference weights: a
+    rotating candidate window is scanned per pivot, the best eligible column
+    by [d^2 / weight] wins, and a full scan (against freshly computed duals)
+    only confirms optimality.
+
+    Variables may carry a declared upper bound ({!Model.add_var}'s [?ub]):
+    such a column can sit nonbasic at either bound, the ratio test is
+    two-sided, and a pivot limited by the entering column's own bound
+    degenerates to a bound flip with no basis change.  Optimal results are
+    vertex (basic feasible) solutions: at most [num_rows] variables take
+    values strictly between their bounds, which is exactly the property the
+    iterative-rounding procedures of the paper need from the LP oracle.
 
     Warm starts: [solve ~warm] takes a basis description from a previous,
     related solve ([result.basis]), crash-installs it onto the fresh
@@ -18,10 +34,13 @@
 
 type status = Optimal | Infeasible | Unbounded
 
-type basis_entry = Basic_var of int | Basic_slack of int
-(** One basic variable of a model-level basis: either a structural variable
-    (by {!Model.var} id) or the slack/surplus of a model row (by row id).
-    Rows not covered by the entries keep their default slack/artificial. *)
+type basis_entry = Basic_var of int | Basic_slack of int | Nonbasic_upper of int
+(** One entry of a model-level basis description: a basic structural
+    variable (by {!Model.var} id), the basic slack/surplus of a model row
+    (by row id), or a nonbasic structural variable parked at its declared
+    upper bound.  Rows not covered by the basic entries keep their default
+    slack/artificial; variables not named by a [Nonbasic_upper] entry start
+    at their lower bound. *)
 
 type basis = basis_entry array
 
@@ -46,6 +65,18 @@ type counters = {
   mutable warm_attempts : int;
   mutable warm_accepted : int;  (** Warm bases installed and primal feasible. *)
   mutable phase1_skipped : int;
+  mutable basis_nnz : int;
+      (** Nonzeros of the basis matrices factorized, summed over
+          refactorizations; [factor_nnz /. basis_nnz] is the mean fill-in
+          ratio of the sparse LU. *)
+  mutable factor_nnz : int;
+      (** Nonzeros of the L and U factors produced, summed over
+          refactorizations. *)
+  mutable eta_nnz : int;
+      (** Nonzeros appended to product-form eta files, summed over pivots. *)
+  mutable bound_flips : int;
+      (** Ratio tests resolved by flipping the entering column to its other
+          bound (no basis change; not counted in [pivots]). *)
   mutable phase1_seconds : float;
   mutable phase2_seconds : float;
 }

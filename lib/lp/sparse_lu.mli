@@ -1,0 +1,45 @@
+(** Sparse LU factorization of a basis matrix, for the revised simplex.
+
+    [factorize] runs a left-looking Gilbert–Peierls elimination over the
+    columns of an [m x m] matrix given column-wise in sparse form.  Columns
+    are processed in ascending-fill order (fewest nonzeros first) as a
+    static Markowitz ordering, and within each eliminated column the pivot
+    row is chosen by threshold partial pivoting: among the rows whose
+    magnitude is within a fixed factor of the column maximum, the row with
+    the fewest nonzeros in the original matrix wins (ties to the larger
+    magnitude).  The factors are stored column-wise in pivot coordinates,
+    so both triangular solves and their transposes run in
+    O(m + nnz(L) + nnz(U)) with no row-wise copies.
+
+    The matrix indexes rows by their original ids and columns by "slots"
+    [0 .. m-1] (in the simplex, the basis position).  [solve]/[solve_t]
+    carry the two permutations chosen during elimination internally:
+    callers pass and receive vectors in original row/slot coordinates. *)
+
+type t
+
+exception Singular
+(** Raised by {!factorize} when some column has no usable pivot (magnitude
+    below [1e-11]), i.e. the matrix is singular or numerically so. *)
+
+val factorize : m:int -> col:(int -> int array * float array) -> t
+(** [factorize ~m ~col] factors the matrix whose slot [s] column has row
+    indices and coefficients [col s] (parallel arrays, each row id in
+    [\[0, m)] at most once).  Raises {!Singular} as above and
+    [Invalid_argument] on an out-of-range row index. *)
+
+val nnz : t -> int
+(** Total stored nonzeros of L and U (including the unit/diagonal terms). *)
+
+val solve : t -> float array -> float array -> unit
+(** [solve t b w] overwrites [w] (length [m], fully written) with the
+    solution of [B w' = b], where [b] is a dense vector indexed by original
+    row and [w'] reads [w] by slot: [w.(s)] is the multiplier of column
+    [s].  [b] is left unchanged.  Not reentrant: uses scratch owned by
+    [t]. *)
+
+val solve_t : t -> float array -> float array -> unit
+(** [solve_t t c y] overwrites [y] (length [m], fully written) with the
+    solution of [B^T y' = c], where [c] is indexed by slot and [y] by
+    original row — the btran of the revised simplex.  [c] is left
+    unchanged.  Not reentrant: uses scratch owned by [t]. *)

@@ -87,6 +87,10 @@ let lp_counters_json (c : Flowsched_lp.Simplex.counters) =
       ("warm_attempts", Json.Int c.Flowsched_lp.Simplex.warm_attempts);
       ("warm_accepted", Json.Int c.Flowsched_lp.Simplex.warm_accepted);
       ("phase1_skipped", Json.Int c.Flowsched_lp.Simplex.phase1_skipped);
+      ("basis_nnz", Json.Int c.Flowsched_lp.Simplex.basis_nnz);
+      ("factor_nnz", Json.Int c.Flowsched_lp.Simplex.factor_nnz);
+      ("eta_nnz", Json.Int c.Flowsched_lp.Simplex.eta_nnz);
+      ("bound_flips", Json.Int c.Flowsched_lp.Simplex.bound_flips);
       ("phase1_seconds", Json.float c.Flowsched_lp.Simplex.phase1_seconds);
       ("phase2_seconds", Json.float c.Flowsched_lp.Simplex.phase2_seconds);
     ]
@@ -165,6 +169,10 @@ let lp_counters_of_json j =
     warm_attempts = req_int j "warm_attempts";
     warm_accepted = req_int j "warm_accepted";
     phase1_skipped = req_int j "phase1_skipped";
+    basis_nnz = req_int j "basis_nnz";
+    factor_nnz = req_int j "factor_nnz";
+    eta_nnz = req_int j "eta_nnz";
+    bound_flips = req_int j "bound_flips";
     phase1_seconds = req_float j "phase1_seconds";
     phase2_seconds = req_float j "phase2_seconds";
   }

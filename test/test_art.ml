@@ -67,6 +67,24 @@ let test_interval_lp_relaxes_round_lp () =
   Alcotest.(check bool) "interval optimum <= round optimum" true
     (r2.Flowsched_lp.Simplex.objective <= r1.Flowsched_lp.Simplex.objective +. 1e-6)
 
+let prop_declared_ub_matches_explicit_rows =
+  (* Declared per-variable bounds b_{e,t} <= d_e vs the same bounds as
+     explicit Le rows: both formulations describe the same polytope, so the
+     optima must coincide (for the round LP and the interval LP alike). *)
+  QCheck2.Test.make ~name:"Art_lp declared ubs = explicit rows" ~count:30
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 2 4) (int_range 2 10))
+    (fun (seed, m, n) ->
+      let inst = tiny_instance seed ~m ~n ~maxrel:3 in
+      let solve build =
+        (Flowsched_lp.Simplex.solve_or_fail (build inst).Art_lp.model)
+          .Flowsched_lp.Simplex.objective
+      in
+      let close a b = abs_float (a -. b) <= 1e-6 in
+      close (solve Art_lp.build_round_lp) (solve (Art_lp.build_round_lp ~explicit_ub_rows:true))
+      && close
+           (solve Art_lp.build_interval_lp)
+           (solve (Art_lp.build_interval_lp ~explicit_ub_rows:true)))
+
 let test_weighted_bound_uniform_weights () =
   (* weight 1 everywhere must reproduce the unweighted bound *)
   let inst = tiny_instance 19 ~m:3 ~n:8 ~maxrel:2 in
@@ -150,7 +168,7 @@ let test_rounding_completes () =
 let test_rounding_multi_iteration_path () =
   (* dense enough that LP(0) leaves fractional flows: the interval
      regrouping of iteration >= 1 must run and still satisfy the chain *)
-  let inst = Flowsched_sim.Workload.uniform_total ~m:3 ~n:60 ~max_release:8 ~seed:1 in
+  let inst = Flowsched_sim.Workload.uniform_total ~m:3 ~n:60 ~max_release:2 ~seed:6 in
   let pseudo, diag = Iterative_rounding.run inst in
   Alcotest.(check bool) "regrouping exercised" true (diag.Iterative_rounding.iterations >= 2);
   Alcotest.(check bool) "still no forced fixes" true (diag.Iterative_rounding.forced = 0);
@@ -197,7 +215,7 @@ let test_rounding_warm_matches_cold () =
   (* Warm-started iterative rounding must be byte-identical to cold-start
      and spend strictly fewer simplex pivots on a multi-iteration run. *)
   let module Simplex = Flowsched_lp.Simplex in
-  let inst = Flowsched_sim.Workload.uniform_total ~m:3 ~n:60 ~max_release:8 ~seed:1 in
+  let inst = Flowsched_sim.Workload.uniform_total ~m:3 ~n:60 ~max_release:2 ~seed:6 in
   Simplex.reset_counters ();
   let s_cold, d_cold = Iterative_rounding.run ~warm_start:false inst in
   let cold_pivots = (Simplex.read_counters ()).Simplex.pivots in
@@ -291,6 +309,7 @@ let () =
   let props =
     List.map QCheck_alcotest.to_alcotest
       [
+        prop_declared_ub_matches_explicit_rows;
         prop_weighted_bound_below_schedules;
         prop_lp_bounds_exact_optimum;
         prop_lp_bound_below_fifo;

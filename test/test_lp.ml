@@ -533,7 +533,10 @@ let test_warm_basis_shape () =
               Alcotest.(check bool) "var id in range" true (v >= 0 && v < Model.num_vars m)
           | Simplex.Basic_slack row ->
               Alcotest.(check bool) "row id in range" true
-                (row >= 0 && row < Model.num_rows m))
+                (row >= 0 && row < Model.num_rows m)
+          | Simplex.Nonbasic_upper v ->
+              Alcotest.(check bool) "upper-bound var id in range" true
+                (v >= 0 && v < Model.num_vars m))
         r.Simplex.basis
   | _ -> ()
 
@@ -573,6 +576,10 @@ let test_counters_shim_matches_registry () =
   Alcotest.(check int) "warm attempts" (reg "simplex.warm_attempts") c.Simplex.warm_attempts;
   Alcotest.(check int) "warm accepted" (reg "simplex.warm_accepted") c.Simplex.warm_accepted;
   Alcotest.(check int) "phase1 skipped" (reg "simplex.phase1_skipped") c.Simplex.phase1_skipped;
+  Alcotest.(check int) "basis nnz" (reg "simplex.basis_nnz") c.Simplex.basis_nnz;
+  Alcotest.(check int) "factor nnz" (reg "simplex.factor_nnz") c.Simplex.factor_nnz;
+  Alcotest.(check int) "eta nnz" (reg "simplex.eta_nnz") c.Simplex.eta_nnz;
+  Alcotest.(check int) "bound flips" (reg "simplex.bound_flips") c.Simplex.bound_flips;
   Alcotest.(check (float 1e-9)) "phase1 seconds"
     (M.gauge_value (M.gauge "simplex.phase1_seconds"))
     c.Simplex.phase1_seconds;
@@ -586,6 +593,251 @@ let test_counters_shim_matches_registry () =
   Simplex.reset_counters ();
   Alcotest.(check int) "reset zeroes the registry too" 0 (reg "simplex.solves");
   Alcotest.(check int) "reset zeroes pivots in registry" 0 (reg "simplex.pivots")
+
+(* --- sparse LU --- *)
+
+(* Dense Gaussian elimination with partial pivoting, as the oracle for
+   Sparse_lu: returns the solution of [a] x = [rhs], or None if singular. *)
+let dense_solve a rhs =
+  let n = Array.length rhs in
+  let m = Array.map Array.copy a in
+  let b = Array.copy rhs in
+  let ok = ref true in
+  for k = 0 to n - 1 do
+    if !ok then begin
+      let piv = ref k in
+      for i = k + 1 to n - 1 do
+        if abs_float m.(i).(k) > abs_float m.(!piv).(k) then piv := i
+      done;
+      if abs_float m.(!piv).(k) < 1e-10 then ok := false
+      else begin
+        if !piv <> k then begin
+          let t = m.(k) in
+          m.(k) <- m.(!piv);
+          m.(!piv) <- t;
+          let t = b.(k) in
+          b.(k) <- b.(!piv);
+          b.(!piv) <- t
+        end;
+        for i = k + 1 to n - 1 do
+          let f = m.(i).(k) /. m.(k).(k) in
+          if f <> 0. then begin
+            for jj = k to n - 1 do
+              m.(i).(jj) <- m.(i).(jj) -. (f *. m.(k).(jj))
+            done;
+            b.(i) <- b.(i) -. (f *. b.(k))
+          end
+        done
+      end
+    end
+  done;
+  if not !ok then None
+  else begin
+    let x = Array.make n 0. in
+    for i = n - 1 downto 0 do
+      let s = ref b.(i) in
+      for jj = i + 1 to n - 1 do
+        s := !s -. (m.(i).(jj) *. x.(jj))
+      done;
+      x.(i) <- !s /. m.(i).(i)
+    done;
+    Some x
+  end
+
+let transpose a =
+  let n = Array.length a in
+  Array.init n (fun i -> Array.init n (fun j -> a.(j).(i)))
+
+(* Random dense matrix as (dense array, Sparse_lu column accessor): entries
+   in [-4, 4] with a sparsity mask, so the LU sees genuinely sparse
+   columns. *)
+let gen_matrix seed n =
+  let g = Flowsched_util.Prng.create seed in
+  let a =
+    Array.init n (fun _ ->
+        Array.init n (fun _ ->
+            if Flowsched_util.Prng.int g 3 = 0 then 0.
+            else float_of_int (Flowsched_util.Prng.int g 9 - 4)))
+  in
+  (* Nudge the diagonal so random instances are usually nonsingular (the
+     oracle still decides; this only improves the generator's yield). *)
+  for i = 0 to n - 1 do
+    if a.(i).(i) = 0. then a.(i).(i) <- 1.
+  done;
+  let col j =
+    let rows = ref [] and vals = ref [] in
+    for i = n - 1 downto 0 do
+      if a.(i).(j) <> 0. then begin
+        rows := i :: !rows;
+        vals := a.(i).(j) :: !vals
+      end
+    done;
+    (Array.of_list !rows, Array.of_list !vals)
+  in
+  (a, col)
+
+let prop_sparse_lu_matches_dense =
+  QCheck2.Test.make ~name:"sparse LU solve/solve_t = dense Gaussian oracle" ~count:500
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 9))
+    (fun (seed, n) ->
+      let a, col = gen_matrix seed n in
+      let g = Flowsched_util.Prng.create (seed + 31) in
+      let rhs = Array.init n (fun _ -> float_of_int (Flowsched_util.Prng.int g 11 - 5)) in
+      match dense_solve a rhs with
+      | None -> (
+          (* Oracle says (near-)singular: the LU must agree rather than
+             silently produce garbage. *)
+          match Sparse_lu.factorize ~m:n ~col with
+          | exception Sparse_lu.Singular -> true
+          | lu ->
+              (* Threshold pivoting may still factor a matrix the oracle
+                 rejects as borderline: accept if residuals are sane. *)
+              let x = Array.make n 0. in
+              Sparse_lu.solve lu rhs x;
+              Array.for_all (fun v -> Float.is_finite v) x)
+      | Some x_ref -> (
+          match Sparse_lu.factorize ~m:n ~col with
+          | exception Sparse_lu.Singular -> false (* oracle solved it *)
+          | lu ->
+              let x = Array.make n 0. in
+              Sparse_lu.solve lu rhs x;
+              let ftran_ok =
+                Array.for_all2 (fun got want -> abs_float (got -. want) < 1e-6) x x_ref
+              in
+              let y_ref =
+                match dense_solve (transpose a) rhs with
+                | Some y -> y
+                | None -> Alcotest.fail "transpose singular but matrix was not"
+              in
+              let y = Array.make n 0. in
+              Sparse_lu.solve_t lu rhs y;
+              let btran_ok =
+                Array.for_all2 (fun got want -> abs_float (got -. want) < 1e-6) y y_ref
+              in
+              ftran_ok && btran_ok))
+
+let test_sparse_lu_singular_zero_column () =
+  (* A structurally empty column must raise Singular, not crash or loop. *)
+  let col j = if j = 0 then ([| 0; 1 |], [| 1.; 2. |]) else ([||], [||]) in
+  Alcotest.check_raises "zero column" Sparse_lu.Singular (fun () ->
+      ignore (Sparse_lu.factorize ~m:2 ~col))
+
+let test_sparse_lu_singular_duplicate_column () =
+  (* Two identical columns: numerically singular, caught during
+     elimination rather than up front. *)
+  let col _ = ([| 0; 1 |], [| 1.; 2. |]) in
+  Alcotest.check_raises "duplicate columns" Sparse_lu.Singular (fun () ->
+      ignore (Sparse_lu.factorize ~m:2 ~col))
+
+let test_sparse_lu_identity_and_permutation () =
+  (* Identity: solve is the identity map. *)
+  let lu = Sparse_lu.factorize ~m:3 ~col:(fun j -> ([| j |], [| 1. |])) in
+  let x = Array.make 3 0. in
+  Sparse_lu.solve lu [| 7.; -2.; 5. |] x;
+  Alcotest.(check (array (float 1e-9))) "identity solve" [| 7.; -2.; 5. |] x;
+  (* Permutation with scaling: column j has its entry on row (j+1) mod 3. *)
+  let lu = Sparse_lu.factorize ~m:3 ~col:(fun j -> ([| (j + 1) mod 3 |], [| 2. |])) in
+  Sparse_lu.solve lu [| 2.; 4.; 6. |] x;
+  (* x_j carries b at row (j+1) mod 3, halved. *)
+  Alcotest.(check (array (float 1e-9))) "permutation solve" [| 2.; 3.; 1. |] x
+
+(* --- bounded variables --- *)
+
+let test_bounded_binding_upper () =
+  (* min -x - y  s.t.  x + y <= 4,  x <= 2.5 (declared)  =>  x=2.5, y=1.5 *)
+  let m = Model.create () in
+  let x = Model.add_var ~obj:(-1.) ~ub:2.5 m in
+  let y = Model.add_var ~obj:(-1.) m in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Le 4.);
+  let r = Simplex.solve_or_fail m in
+  check_close "objective" (-4.) r.Simplex.objective;
+  check_close "x at its bound" 2.5 r.Simplex.values.(x);
+  check_close "y fills the row" 1.5 r.Simplex.values.(y)
+
+let test_bounded_pure_flip_no_rows () =
+  (* min -x with x <= 3 and no constraint rows: the optimum is a pure bound
+     flip — no basis, no pivots. *)
+  let m = Model.create () in
+  let x = Model.add_var ~obj:(-1.) ~ub:3. m in
+  Simplex.reset_counters ();
+  let r = Simplex.solve_or_fail m in
+  check_close "objective" (-3.) r.Simplex.objective;
+  check_close "x at bound" 3. r.Simplex.values.(x);
+  Alcotest.(check int) "no pivots" 0 r.Simplex.iterations;
+  Alcotest.(check bool) "flip counted" true
+    ((Simplex.read_counters ()).Simplex.bound_flips >= 1)
+
+let test_bounded_infeasible_vs_row () =
+  (* x >= 5 but x <= 2 declared: phase 1 cannot reach feasibility. *)
+  let m = Model.create () in
+  let x = Model.add_var ~ub:2. m in
+  ignore (Model.add_constraint m [ (x, 1.) ] Model.Ge 5.);
+  let r = Simplex.solve m in
+  Alcotest.(check bool) "infeasible" true (r.Simplex.status = Simplex.Infeasible)
+
+let test_bounded_zero_upper () =
+  (* ub = 0 pins the variable: min -x -2y, x+y <= 3, x <= 0  =>  y=3 *)
+  let m = Model.create () in
+  let x = Model.add_var ~obj:(-1.) ~ub:0. m in
+  let y = Model.add_var ~obj:(-2.) m in
+  ignore (Model.add_constraint m [ (x, 1.); (y, 1.) ] Model.Le 3.);
+  let r = Simplex.solve_or_fail m in
+  check_close "objective" (-6.) r.Simplex.objective;
+  check_close "x pinned at 0" 0. r.Simplex.values.(x);
+  check_close "y takes the row" 3. r.Simplex.values.(y)
+
+let test_bounded_nonbinding_matches_unbounded () =
+  (* A loose declared bound must not change the optimum. *)
+  let build ub =
+    let m = Model.create () in
+    let x = Model.add_var ~obj:(-2.) ?ub m in
+    let y = Model.add_var ~obj:(-3.) m in
+    ignore (Model.add_constraint m [ (x, 2.); (y, 1.) ] Model.Le 8.);
+    ignore (Model.add_constraint m [ (x, 1.); (y, 3.) ] Model.Le 9.);
+    Simplex.solve_or_fail m
+  in
+  let free = build None and loose = build (Some 1000.) in
+  check_close "same objective" free.Simplex.objective loose.Simplex.objective;
+  Array.iteri
+    (fun i v -> check_close (Printf.sprintf "value %d" i) v loose.Simplex.values.(i))
+    free.Simplex.values
+
+(* Declared bounds vs the same bounds written as explicit Le rows: identical
+   objectives on random bounded LPs (the formulations' vertex sets match). *)
+let build_bounded_lp ~declared (seed, n, rows) =
+  let g = Flowsched_util.Prng.create (seed + 71) in
+  let m = Model.create () in
+  let ubs = Array.init n (fun _ -> float_of_int (1 + Flowsched_util.Prng.int g 5)) in
+  let vars =
+    Array.init n (fun i ->
+        let obj = float_of_int (Flowsched_util.Prng.int g 7 - 3) in
+        if declared then Model.add_var ~obj ~ub:ubs.(i) m else Model.add_var ~obj m)
+  in
+  if not declared then
+    Array.iteri (fun i v -> ignore (Model.add_constraint m [ (v, 1.) ] Model.Le ubs.(i))) vars;
+  for _ = 1 to rows do
+    let terms = ref [] in
+    Array.iter
+      (fun v ->
+        let c = Flowsched_util.Prng.int g 4 in
+        if c > 0 then terms := (v, float_of_int c) :: !terms)
+      vars;
+    if !terms <> [] then begin
+      let sense = if Flowsched_util.Prng.int g 4 = 0 then Model.Ge else Model.Le in
+      ignore (Model.add_constraint m !terms sense (float_of_int (2 + Flowsched_util.Prng.int g 9)))
+    end
+  done;
+  m
+
+let prop_declared_bounds_match_rows =
+  QCheck2.Test.make ~name:"declared upper bounds = explicit Le rows" ~count:300
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 1 6) (int_range 0 5))
+    (fun params ->
+      let a = Simplex.solve (build_bounded_lp ~declared:true params) in
+      let b = Simplex.solve (build_bounded_lp ~declared:false params) in
+      a.Simplex.status = b.Simplex.status
+      && (a.Simplex.status <> Simplex.Optimal
+         || abs_float (a.Simplex.objective -. b.Simplex.objective) <= 1e-6))
 
 let prop_warm_matches_cold =
   (* The basis of a cold solve, fed back as a warm start, must reproduce
@@ -633,6 +885,8 @@ let () =
         prop_random_lp_with_demands;
         prop_scaling_invariance;
         prop_matches_reference_solver;
+        prop_sparse_lu_matches_dense;
+        prop_declared_bounds_match_rows;
         prop_warm_matches_cold;
         prop_warm_garbage_basis_is_safe;
       ]
@@ -668,6 +922,23 @@ let () =
           Alcotest.test_case "counters accounting" `Quick test_counters_accounting;
           Alcotest.test_case "counters shim matches registry" `Quick
             test_counters_shim_matches_registry;
+        ] );
+      ( "sparse-lu",
+        [
+          Alcotest.test_case "singular: zero column" `Quick test_sparse_lu_singular_zero_column;
+          Alcotest.test_case "singular: duplicate columns" `Quick
+            test_sparse_lu_singular_duplicate_column;
+          Alcotest.test_case "identity and permutation" `Quick
+            test_sparse_lu_identity_and_permutation;
+        ] );
+      ( "bounded",
+        [
+          Alcotest.test_case "binding upper bound" `Quick test_bounded_binding_upper;
+          Alcotest.test_case "pure bound flip, no rows" `Quick test_bounded_pure_flip_no_rows;
+          Alcotest.test_case "bound conflicts with Ge row" `Quick test_bounded_infeasible_vs_row;
+          Alcotest.test_case "zero upper bound pins variable" `Quick test_bounded_zero_upper;
+          Alcotest.test_case "loose bound changes nothing" `Quick
+            test_bounded_nonbinding_matches_unbounded;
         ] );
       ( "stress",
         [

@@ -106,6 +106,29 @@ let test_rho_search_warm_matches_cold () =
     true
     (warm_pivots < cold_pivots)
 
+let prop_declared_ub_matches_explicit_rows =
+  (* The declared-bound formulation (x_{e,t} <= 1 enforced by the simplex's
+     bounded-variable ratio test) must agree with the explicit-row oracle on
+     feasibility at every rho around the threshold, and both solutions must
+     fully schedule every flow. *)
+  QCheck2.Test.make ~name:"Mrt_lp declared ubs = explicit rows" ~count:40
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 2 4) (int_range 2 10))
+    (fun (seed, m, n) ->
+      let inst = tiny_instance seed ~m ~n ~maxrel:3 in
+      let scheduled_ok frac =
+        let sums = Array.make n 0. in
+        Hashtbl.iter (fun (e, _) v -> sums.(e) <- sums.(e) +. v) frac.Mrt_lp.values;
+        Array.for_all (fun s -> abs_float (s -. 1.) <= 1e-6) sums
+      in
+      List.for_all
+        (fun rho ->
+          let active = Mrt_lp.active_of_rho inst rho in
+          match (Mrt_lp.solve inst active, Mrt_lp.solve ~explicit_ub_rows:true inst active) with
+          | None, None -> true
+          | Some a, Some b -> scheduled_ok a && scheduled_ok b
+          | _ -> false)
+        [ 1; 2; 3; 4 ])
+
 (* --- rounding --- *)
 
 let test_rounding_simple () =
@@ -226,6 +249,7 @@ let () =
       [
         prop_fractional_rho_lower_bounds_exact;
         prop_feasibility_monotone;
+        prop_declared_ub_matches_explicit_rows;
         prop_rounding_guarantee_unit;
         prop_rounding_guarantee_demands;
         prop_solve_optimal_wrt_exact;
