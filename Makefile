@@ -1,4 +1,5 @@
-.PHONY: build test bench bench-smoke bench-lp serve-smoke obs-smoke chaos-smoke clean
+.PHONY: build test bench bench-smoke bench-lp serve-smoke obs-smoke chaos-smoke \
+  domains-smoke bench-exec clean
 
 build:
 	dune build
@@ -110,6 +111,50 @@ serve-smoke:
 	  && echo "serve-smoke: OK (BENCH_serve.json valid, exactness gate clean)" \
 	  || (echo "serve-smoke: BAD artifact or exactness gate failure" && exit 1)
 	@rm -f _serve_a.json _serve_b.json
+
+# Domains-executor byte-identity gate: the same LP-enabled sweep grid on the
+# shared-memory domains backend with 4 workers vs the sequential run must
+# produce (a) byte-identical artifacts after dropping the timing lines and
+# the worker-count metadata line (the only field that records how the run
+# was parallelized) and (b) byte-identical counter totals (executor-internal
+# pool.*/domains.* counters depend on worker count, so both families are
+# excluded — every algorithmic counter must match exactly).
+DOMAINS_GRID = --kinds poisson,uniform -m 4 --rates 2 --rounds 4,5 --seeds 1,2 \
+  --policies maxcard,minrtime --lp
+DOMAINS_FILTER = grep -v 'wall_clock_s\|phase1_seconds\|phase2_seconds\|"jobs":'
+
+domains-smoke: build
+	@rm -f _dom_*.json _dom_*.txt _dom_*.f
+	_build/default/bin/main.exe sweep $(DOMAINS_GRID) --backend domains --jobs 4 \
+	  --out _dom_sweep4.json 2>/dev/null
+	_build/default/bin/main.exe sweep $(DOMAINS_GRID) --jobs 1 \
+	  --out _dom_sweep1.json 2>/dev/null
+	@$(DOMAINS_FILTER) _dom_sweep4.json > _dom_sweep4.f
+	@$(DOMAINS_FILTER) _dom_sweep1.json > _dom_sweep1.f
+	@diff _dom_sweep1.f _dom_sweep4.f >/dev/null \
+	  && echo "domains-smoke: artifact byte-identical (domains --jobs 4 vs --jobs 1)" \
+	  || (echo "domains-smoke: artifact diverges between domains --jobs 4 and --jobs 1" && exit 1)
+	_build/default/bin/main.exe sweep $(DOMAINS_GRID) --backend domains --jobs 4 \
+	  --metrics --out _dom_m4.json 2>_dom_metrics4.txt
+	_build/default/bin/main.exe sweep $(DOMAINS_GRID) --jobs 1 \
+	  --metrics --out _dom_m1.json 2>_dom_metrics1.txt
+	@grep '^counter ' _dom_metrics4.txt | grep -v '^counter pool\.\|^counter domains\.' > _dom_c4.txt
+	@grep '^counter ' _dom_metrics1.txt | grep -v '^counter pool\.\|^counter domains\.' > _dom_c1.txt
+	@diff _dom_c1.txt _dom_c4.txt \
+	  && echo "domains-smoke: OK (counter totals match)" \
+	  || (echo "domains-smoke: counter totals diverge between domains --jobs 4 and --jobs 1" && exit 1)
+	@rm -f _dom_*.json _dom_*.txt _dom_*.f
+
+# Executor bench: fork vs domains vs inline over the same sweep grid (the
+# artifacts must agree byte-for-byte modulo timing) plus the parallel-rho
+# k-section micro (must find the same rho as the sequential bisection).
+# Writes BENCH_exec.json; exits non-zero on any disagreement.
+bench-exec:
+	dune exec bench/main.exe -- exec --json --jobs 4
+	@grep -q '"schema": "flowsched-bench-exec/1"' BENCH_exec.json \
+	  && grep -q '"disagreements": 0' BENCH_exec.json \
+	  && echo "bench-exec: OK (BENCH_exec.json valid, backends agree)" \
+	  || (echo "bench-exec: BAD artifact or backend disagreement" && exit 1)
 
 clean:
 	dune clean

@@ -18,11 +18,16 @@
      dune exec bench/main.exe -- serve [--json]  # serve loop: incremental vs
                                               # from-scratch matching, exactness
                                               # gate (writes BENCH_serve.json)
+     dune exec bench/main.exe -- exec [--json]  # fork vs domains vs inline over
+                                              # a sweep grid + parallel-rho
+                                              # micro (writes BENCH_exec.json)
 
-   All modes but micro accept `--jobs N` (default: detected core count) and
-   fan their mutually independent cells across a Flowsched_exec.Pool of
-   forked workers.  Results are merged in job order, so every table is
-   byte-identical to a sequential `--jobs 1` run. *)
+   All modes but micro accept `--jobs N` (N a positive count or `auto` for
+   the detected core count; default auto) and fan their mutually
+   independent cells across a Flowsched_exec.Pool of forked workers (the
+   exec mode runs the same grid on every backend).  Results are merged in
+   job order, so every table is byte-identical to a sequential `--jobs 1`
+   run. *)
 
 open Flowsched_switch
 open Flowsched_core
@@ -1028,6 +1033,194 @@ let serve_bench ?(json = false) () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Executor bench: fork vs domains vs inline + parallel rho probes     *)
+(* ------------------------------------------------------------------ *)
+
+module Backend = Flowsched_domains.Backend
+
+(* Timing fields are the only nondeterminism in a sweep artifact; dropping
+   their lines (same idiom as the Makefile's CHAOS_FILTER) leaves the
+   byte-comparable core. *)
+let strip_timing_lines s =
+  let keep line =
+    let has sub =
+      let n = String.length line and k = String.length sub in
+      let rec go i = i + k <= n && (String.sub line i k = sub || go (i + 1)) in
+      go 0
+    in
+    not (has "wall_clock_s" || has "phase1_seconds" || has "phase2_seconds")
+  in
+  String.concat "\n" (List.filter keep (String.split_on_char '\n' s))
+
+let exec_bench ?(json = false) ~jobs () =
+  section "Executor bench — sweep grid under fork, domains, and inline backends";
+  Printf.printf
+    "The same LP-enabled sweep grid runs through all three executors; after\n\
+     dropping wall-clock lines the three artifacts must be byte-identical\n\
+     (the backends may only differ in speed, never in results).  Then the\n\
+     parallel-rho micro: the FS-MRT binary search with 1 probe per round vs\n\
+     a 4-way k-section on spawned domains, which must find the same rho.\n\n%!";
+  let policies = Heuristics.all_paper_heuristics in
+  let cells =
+    List.concat_map
+      (fun sweep_seed ->
+        List.map
+          (fun (arrival_rate, horizon) ->
+            {
+              Experiment.workload = "poisson";
+              ports = 5;
+              arrival_rate;
+              horizon;
+              max_demand = 3;
+              sweep_seed;
+              lp = true;
+            })
+          (* Enough work per backend (~0.1s inline) that executor startup
+             cost — forked workers or spawned domains — amortizes away and
+             the throughput comparison is not dominated by noise. *)
+          [ (2.0, 8); (3.0, 9); (4.0, 7) ])
+      [ 1; 2; 3; 4 ]
+  in
+  let ncells = List.length cells in
+  let disagreements = ref 0 in
+  let run_backend backend =
+    let t0 = Unix.gettimeofday () in
+    let results = Experiment.run_sweep ~policies ~backend ~jobs cells in
+    let wall = elapsed t0 in
+    let artifact =
+      strip_timing_lines (Json.to_string (Report.sweep_json ~jobs results))
+    in
+    (backend, wall, artifact)
+  in
+  let sides = List.map run_backend [ Backend.Inline; Backend.Fork; Backend.Domains ] in
+  let reference =
+    match sides with (_, _, a) :: _ -> a | [] -> assert false
+  in
+  let t =
+    Table.create
+      [
+        ("backend", Table.Left);
+        ("cells", Table.Right);
+        ("jobs", Table.Right);
+        ("wall s", Table.Right);
+        ("cells/s", Table.Right);
+        ("artifact agree", Table.Right);
+      ]
+  in
+  let backend_rows =
+    List.map
+      (fun (backend, wall, artifact) ->
+        let agree = artifact = reference in
+        if not agree then incr disagreements;
+        Table.add_row t
+          [
+            Backend.to_string backend;
+            string_of_int ncells;
+            string_of_int (match backend with Backend.Inline -> 1 | _ -> jobs);
+            Table.cell_float ~decimals:3 wall;
+            Table.cell_float ~decimals:1 (float_of_int ncells /. wall);
+            string_of_bool agree;
+          ];
+        Json.Obj
+          [
+            ("backend", Json.Str (Backend.to_string backend));
+            ("wall_s", Json.float wall);
+            ("cells_per_sec", Json.float (float_of_int ncells /. wall));
+            ("artifact_agree", Json.Bool agree);
+          ])
+      sides
+  in
+  Table.print t;
+  (* ---- parallel rho probes ---- *)
+  let rho_cells =
+    [
+      ("poisson m=4 rate=2 T=10", Workload.poisson ~m:4 ~rate:2.0 ~rounds:10 ~seed:5);
+      ("poisson m=6 rate=4 T=8", Workload.poisson ~m:6 ~rate:4.0 ~rounds:8 ~seed:9);
+    ]
+  in
+  let rt =
+    Table.create
+      [
+        ("cell", Table.Left);
+        ("flows", Table.Right);
+        ("rho", Table.Right);
+        ("seq s", Table.Right);
+        ("4-probe s", Table.Right);
+        ("speedup", Table.Right);
+        ("agree", Table.Right);
+      ]
+  in
+  let rho_rows =
+    List.filter_map
+      (fun (label, inst) ->
+        if Instance.n inst = 0 then None
+        else begin
+          let time f =
+            let t0 = Unix.gettimeofday () in
+            let r = f () in
+            (r, elapsed t0)
+          in
+          let rho_seq, seq_s =
+            time (fun () -> Mrt_scheduler.min_fractional_rho ~probes:1 inst)
+          in
+          let rho_par, par_s =
+            time (fun () -> Mrt_scheduler.min_fractional_rho ~probes:4 inst)
+          in
+          let agree = rho_seq = rho_par in
+          if not agree then incr disagreements;
+          Table.add_row rt
+            [
+              label;
+              string_of_int (Instance.n inst);
+              string_of_int rho_seq;
+              Table.cell_float ~decimals:3 seq_s;
+              Table.cell_float ~decimals:3 par_s;
+              Printf.sprintf "%.2fx" (seq_s /. par_s);
+              string_of_bool agree;
+            ];
+          Some
+            (Json.Obj
+               [
+                 ("cell", Json.Str label);
+                 ("flows", Json.Int (Instance.n inst));
+                 ("rho", Json.Int rho_seq);
+                 ("seq_wall_s", Json.float seq_s);
+                 ("probes4_wall_s", Json.float par_s);
+                 ("speedup", Json.float (seq_s /. par_s));
+                 ("agree", Json.Bool agree);
+               ])
+        end)
+      rho_cells
+  in
+  Table.print rt;
+  Printf.printf "\n(detected cores: %d — speedups are only meaningful above 1)\n%!"
+    (Domain.recommended_domain_count ());
+  if json then begin
+    let artifact =
+      Json.Obj
+        [
+          ("schema", Json.Str "flowsched-bench-exec/1");
+          ("jobs", Json.Int jobs);
+          ("cores", Json.Int (Domain.recommended_domain_count ()));
+          ("sweep_cells", Json.Int ncells);
+          ("backends", Json.Arr backend_rows);
+          ("parallel_rho", Json.Arr rho_rows);
+          ("disagreements", Json.Int !disagreements);
+        ]
+    in
+    let path = "BENCH_exec.json" in
+    let oc = open_out path in
+    output_string oc (Json.to_string artifact);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
+  if !disagreements > 0 then begin
+    Printf.eprintf "FAIL: %d backend/probe disagreement(s)\n%!" !disagreements;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1136,11 +1329,13 @@ let () =
   (* Pull `--jobs N` out of the argument list; every remaining argument is
      handled by the per-mode matching below. *)
   let rec extract_jobs acc = function
+    | "--jobs" :: "auto" :: rest -> (Pool.default_jobs (), List.rev_append acc rest)
     | "--jobs" :: v :: rest -> (
         match int_of_string_opt v with
         | Some n when n >= 1 -> (n, List.rev_append acc rest)
         | _ ->
-            Printf.eprintf "bad --jobs value %S (expected a positive integer)\n" v;
+            Printf.eprintf
+              "bad --jobs value %S (expected a positive integer or \"auto\")\n" v;
             exit 2)
     | "--jobs" :: [] ->
         Printf.eprintf "--jobs needs a value\n";
@@ -1182,9 +1377,11 @@ let () =
         n rows cold.Simplex.iterations warm.Simplex.iterations c.Simplex.refactorizations
         fill c.Simplex.eta_nnz c.Simplex.bound_flips cold_s warm_s agree
   | "serve" :: rest -> serve_bench ~json:(List.mem "--json" rest) ()
+  | "exec" :: rest -> exec_bench ~json:(List.mem "--json" rest) ~jobs ()
   | other :: _ ->
       Printf.eprintf
-        "unknown bench mode %S (try figures|ablations|adversarial|micro|lp|serve)\n" other;
+        "unknown bench mode %S (try figures|ablations|adversarial|micro|lp|serve|exec)\n"
+        other;
       exit 2);
   section "Metrics registry";
   print_string (Flowsched_obs.Metrics.to_text (Flowsched_obs.Metrics.snapshot ()));

@@ -45,23 +45,72 @@ let metrics_term =
     & info [ "metrics" ]
         ~doc:"Print the merged metrics registry (counters/gauges/histograms) to stderr on exit.")
 
+(* Flush the observability sinks: write the trace file and dump the
+   registry.  Split out of [with_obs] because interrupt handlers that leave
+   via [exit] bypass [Fun.protect] finalizers and must flush explicitly —
+   an interrupted sweep still owes the user its partial trace. *)
+let finish_obs ~trace ~metrics () =
+  (match trace with
+  | Some path ->
+      Flowsched_obs.Trace.stop ();
+      Flowsched_obs.Trace.write path;
+      Printf.eprintf "wrote trace %s\n%!" path
+  | None -> ());
+  if metrics then begin
+    prerr_string (Flowsched_obs.Metrics.to_text (Flowsched_obs.Metrics.snapshot ()));
+    flush stderr
+  end
+
 (* Bracket a subcommand body: enable tracing when requested and, on the way
    out (also on exceptions), write the trace file and dump the registry. *)
 let with_obs ~trace ~metrics f =
   if trace <> None then Flowsched_obs.Trace.start ();
-  Fun.protect
-    ~finally:(fun () ->
-      (match trace with
-      | Some path ->
-          Flowsched_obs.Trace.stop ();
-          Flowsched_obs.Trace.write path;
-          Printf.eprintf "wrote trace %s\n%!" path
-      | None -> ());
-      if metrics then begin
-        prerr_string (Flowsched_obs.Metrics.to_text (Flowsched_obs.Metrics.snapshot ()));
-        flush stderr
-      end)
-    f
+  Fun.protect ~finally:(finish_obs ~trace ~metrics) f
+
+(* ----- worker-count and backend flags (shared by the parallel drivers) ----- *)
+
+(* [--jobs] accepts a positive worker count or "auto" (the runtime's
+   recommended domain count).  0 is rejected outright: zero workers cannot
+   run anything, and the old silent clamp to 1 hid the typo. *)
+let jobs_conv =
+  let parse s =
+    match s with
+    | "auto" -> Ok (Flowsched_exec.Pool.default_jobs ())
+    | _ -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | Some _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "--jobs %s: worker count must be at least 1 (or \"auto\" for the \
+                    detected core count)"
+                   s))
+        | None ->
+            Error
+              (`Msg (Printf.sprintf "invalid --jobs %S (expected a positive integer or \"auto\")" s)))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let backend_conv =
+  let parse s =
+    match Flowsched_domains.Backend.of_string s with
+    | Ok b -> Ok b
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv
+    (parse, fun ppf b -> Format.pp_print_string ppf (Flowsched_domains.Backend.to_string b))
+
+let backend_term =
+  Arg.(
+    value
+    & opt backend_conv Flowsched_domains.Backend.Fork
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Parallel executor for the cell grid: $(b,fork) (process pool, isolated address \
+           spaces), $(b,domains) (shared-memory OCaml 5 domains with work stealing), or \
+           $(b,inline) (sequential, in-process).  The artifact is byte-identical across \
+           all three.")
 
 let print_schedule_stats inst schedule =
   Printf.printf "flows:            %d\n" (Instance.n inst);
@@ -273,14 +322,16 @@ let simulate_cmd =
 
 (* ----- serve ----- *)
 
-let serve inst_path core_name seed workload m rate slots max_demand alpha fraction queue_cap
-    buffer_cap max_slots idle_limit status_every json trace metrics =
+let serve inst_path core_name seed jobs workload m rate slots max_demand alpha fraction
+    queue_cap buffer_cap max_slots idle_limit status_every json trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
   let module Serve = Flowsched_serve.Server in
-  let source, m, m', cap_in, cap_out =
-    match inst_path with
-    | Some path ->
-        let inst = load_instance path in
+  let inst = Option.map load_instance inst_path in
+  (* Sources are stateful cursors, so each replica builds its own (and, in
+     stream mode, derives its own arrival stream from its replica seed). *)
+  let make_source ~seed =
+    match inst with
+    | Some inst ->
         ( Flowsched_serve.Source.of_instance inst,
           inst.Instance.m,
           inst.Instance.m',
@@ -306,39 +357,63 @@ let serve inst_path core_name seed workload m rate slots max_demand alpha fracti
         in
         (Flowsched_serve.Source.of_stream stream ~horizon:slots, m, m, caps, caps)
   in
-  let core =
-    match String.lowercase_ascii core_name with
-    | "incremental" -> Serve.Incremental
-    | name -> Serve.Policy (policy_of_name name seed)
+  let run_one ~seed ~stop =
+    let source, m, m', cap_in, cap_out = make_source ~seed in
+    let core =
+      match String.lowercase_ascii core_name with
+      | "incremental" -> Serve.Incremental
+      | name -> Serve.Policy (policy_of_name name seed)
+    in
+    let config =
+      Serve.config ?cap_in ?cap_out ?queue_cap ?buffer_cap ?max_slots ~idle_limit
+        ~status_every ~m ~m' ()
+    in
+    let on_status s =
+      Printf.eprintf "%s\n%!"
+        (Flowsched_util.Json.to_string ~pretty:false (Serve.status_to_json s))
+    in
+    Serve.run ~on_status ~stop config core source
   in
-  let config =
-    Serve.config ?cap_in ?cap_out ?queue_cap ?buffer_cap ?max_slots ~idle_limit ~status_every
-      ~m ~m' ()
+  let print_outcome ?replica outcome =
+    if json then
+      print_endline (Flowsched_util.Json.to_string (Serve.outcome_to_json outcome))
+    else begin
+      (match replica with
+      | Some (i, seed) -> Printf.printf "replica %d (seed %d):\n" i seed
+      | None -> ());
+      Printf.printf "slots:            %d\n" outcome.Serve.slots;
+      Printf.printf "flows:            %d arrived, %d completed\n" outcome.Serve.arrived
+        outcome.Serve.completed;
+      Printf.printf "avg response:     %.4f\n" (Serve.mean_response outcome);
+      Printf.printf "max response:     %d\n" outcome.Serve.max_response;
+      Printf.printf "makespan:         %d\n" outcome.Serve.makespan;
+      Printf.printf "idle slots:       %d\n" outcome.Serve.idle_slots;
+      Printf.printf "stalled slots:    %d\n" outcome.Serve.stalled_slots;
+      Printf.printf "peak pending:     %d\n" outcome.Serve.peak_pending;
+      if outcome.Serve.final_pending > 0 || outcome.Serve.final_buffered > 0 then
+        Printf.printf "left unfinished:  %d pending, %d buffered\n"
+          outcome.Serve.final_pending outcome.Serve.final_buffered;
+      if outcome.Serve.interrupted then
+        Printf.printf "interrupted:      yes (drained gracefully)\n"
+    end
   in
-  let on_status s =
-    Printf.eprintf "%s\n%!"
-      (Flowsched_util.Json.to_string ~pretty:false (Serve.status_to_json s))
-  in
-  let outcome =
-    Flowsched_exec.Signals.with_interrupt_flag (fun stop ->
-        Serve.run ~on_status ~stop config core source)
-  in
-  if json then
-    print_endline (Flowsched_util.Json.to_string (Serve.outcome_to_json outcome))
+  if jobs <= 1 then
+    let outcome =
+      Flowsched_exec.Signals.with_interrupt_flag (fun stop -> run_one ~seed ~stop)
+    in
+    print_outcome outcome
   else begin
-    Printf.printf "slots:            %d\n" outcome.Serve.slots;
-    Printf.printf "flows:            %d arrived, %d completed\n" outcome.Serve.arrived
-      outcome.Serve.completed;
-    Printf.printf "avg response:     %.4f\n" (Serve.mean_response outcome);
-    Printf.printf "max response:     %d\n" outcome.Serve.max_response;
-    Printf.printf "makespan:         %d\n" outcome.Serve.makespan;
-    Printf.printf "idle slots:       %d\n" outcome.Serve.idle_slots;
-    Printf.printf "stalled slots:    %d\n" outcome.Serve.stalled_slots;
-    Printf.printf "peak pending:     %d\n" outcome.Serve.peak_pending;
-    if outcome.Serve.final_pending > 0 || outcome.Serve.final_buffered > 0 then
-      Printf.printf "left unfinished:  %d pending, %d buffered\n" outcome.Serve.final_pending
-        outcome.Serve.final_buffered;
-    if outcome.Serve.interrupted then Printf.printf "interrupted:      yes (drained gracefully)\n"
+    (* Replica mode: [jobs] independent service instances, one per domain,
+       each on its own derived-seed arrival stream — a quick scale test of
+       the service loop.  The shared interrupt flag drains every replica
+       gracefully; outcomes print in replica order. *)
+    let replica_seed i = Flowsched_exec.Pool.seed_for ~base_seed:seed i in
+    let outcomes =
+      Flowsched_exec.Signals.with_interrupt_flag (fun stop ->
+          Flowsched_domains.Parallel.map ~width:jobs jobs (fun i ->
+              run_one ~seed:(replica_seed i) ~stop))
+    in
+    Array.iteri (fun i o -> print_outcome ~replica:(i, replica_seed i) o) outcomes
   end
 
 let serve_cmd =
@@ -356,6 +431,15 @@ let serve_cmd =
           ~doc:
             "Scheduling core: incremental (per-slot matching maintained across slots) or a \
              policy name (maxcard | minrtime | maxweight | fifo | random).")
+  in
+  let jobs =
+    Arg.(
+      value & opt jobs_conv 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run $(docv) independent service replicas on parallel domains, each with a \
+             derived seed (or $(b,auto) for the detected core count).  Default 1: a \
+             single service.")
   in
   let workload =
     Arg.(
@@ -421,9 +505,9 @@ let serve_cmd =
          "Run the scheduler as a long-lived slot-clocked service over a trace or a generated \
           arrival stream.")
     Term.(
-      const serve $ inst $ core $ seed_term $ workload $ m $ rate $ slots $ max_demand $ alpha
-      $ fraction $ queue_cap $ buffer_cap $ max_slots $ idle_limit $ status_every $ json
-      $ trace_term $ metrics_term)
+      const serve $ inst $ core $ seed_term $ jobs $ workload $ m $ rate $ slots $ max_demand
+      $ alpha $ fraction $ queue_cap $ buffer_cap $ max_slots $ idle_limit $ status_every
+      $ json $ trace_term $ metrics_term)
 
 (* ----- exact ----- *)
 
@@ -475,8 +559,8 @@ let figures_cmd =
 
 (* ----- sweep ----- *)
 
-let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs timeout
-    retries chaos checkpoint resume out trace metrics =
+let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp backend jobs
+    timeout retries chaos checkpoint resume out trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
   let policies = List.map (fun name -> policy_of_name name 1) policy_names in
   if resume && checkpoint = None then begin
@@ -523,9 +607,10 @@ let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs t
     Printf.eprintf "error: empty sweep grid (check --rates/--rounds/--seeds)\n";
     exit 1
   end;
-  let jobs = match jobs with Some j -> max 1 j | None -> Flowsched_exec.Pool.default_jobs () in
-  Printf.eprintf "sweep: %d cells x %d policies, %d workers\n%!" (List.length cells)
-    (List.length policies) jobs;
+  let jobs = match jobs with Some j -> j | None -> Flowsched_exec.Pool.default_jobs () in
+  Printf.eprintf "sweep: %d cells x %d policies, %d workers (%s)\n%!" (List.length cells)
+    (List.length policies) jobs
+    (Flowsched_domains.Backend.to_string backend);
   let t0 = Unix.gettimeofday () in
   let progress msg = Printf.eprintf "  %s\n%!" msg in
   let results =
@@ -533,8 +618,8 @@ let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs t
       Flowsched_obs.Trace.with_span "sweep.run" (fun () ->
           match checkpoint with
           | None ->
-              Flowsched_sim.Experiment.run_sweep ~policies ~progress ~jobs ?timeout ?retries
-                ?faults cells
+              Flowsched_sim.Experiment.run_sweep ~policies ~progress ~backend ~jobs ?timeout
+                ?retries ?faults cells
           | Some path ->
               let ckpt = Flowsched_sim.Checkpoint.open_ ~path ~resume in
               if resume then
@@ -544,8 +629,8 @@ let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs t
               Fun.protect
                 ~finally:(fun () -> Flowsched_sim.Checkpoint.close ckpt)
                 (fun () ->
-                  Flowsched_sim.Checkpoint.run_sweep ~policies ~progress ~jobs ?timeout
-                    ?retries ?faults ckpt cells))
+                  Flowsched_sim.Checkpoint.run_sweep ~policies ~progress ~backend ~jobs
+                    ?timeout ?retries ?faults ckpt cells))
     with Flowsched_exec.Pool.Interrupted ->
       Printf.eprintf "interrupted: pool drained and workers reaped\n";
       (match checkpoint with
@@ -553,6 +638,10 @@ let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp jobs t
           Printf.eprintf "  completed cells are saved; rerun with --checkpoint %s --resume\n"
             path
       | None -> Printf.eprintf "  rerun with --checkpoint FILE to make progress durable\n");
+      (* [exit] skips [with_obs]'s protect finalizer, so flush here: the
+         partial trace (the executors absorb every settled worker's spans
+         before raising) is exactly what a post-mortem wants. *)
+      finish_obs ~trace ~metrics ();
       exit 130
   in
   (* The metrics block is opt-in: its timing gauges are nondeterministic and
@@ -610,9 +699,12 @@ let sweep_cmd =
   in
   let jobs =
     Arg.(
-      value & opt (some int) None
+      value
+      & opt (some jobs_conv) None
       & info [ "jobs" ] ~docv:"N"
-          ~doc:"Worker processes for the cell grid (default: detected core count).")
+          ~doc:
+            "Workers for the cell grid: a positive count or $(b,auto) for the detected \
+             core count (also the default).")
   in
   let timeout =
     Arg.(
@@ -661,8 +753,8 @@ let sweep_cmd =
           write a machine-readable JSON artifact.")
     Term.(
       const sweep $ kinds $ m $ rates $ rounds_list $ max_demand $ seeds $ policy_names
-      $ with_lp $ jobs $ timeout $ retries $ chaos $ checkpoint $ resume $ out $ trace_term
-      $ metrics_term)
+      $ with_lp $ backend_term $ jobs $ timeout $ retries $ chaos $ checkpoint $ resume $ out
+      $ trace_term $ metrics_term)
 
 (* ----- check-trace ----- *)
 

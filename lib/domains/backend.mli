@@ -1,0 +1,36 @@
+(** Executor backend selection: one dispatch point for everything that
+    fans jobs out ([flowsched sweep], [bench], {!Flowsched_sim.Experiment}).
+
+    - [Inline]: the pool's sequential mode, regardless of [jobs] — the
+      reference semantics the other two must reproduce byte-for-byte.
+    - [Fork]: {!Flowsched_exec.Pool} forked workers (process isolation,
+      SIGKILL-able timeouts, Marshal frames).
+    - [Domains]: {!Executor} shared-memory domains (no serialization,
+      cooperative timeouts, in-job {!Parallel}). *)
+
+type t = Inline | Fork | Domains
+
+val all : t list
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Accepts ["inline" | "fork" | "domains"]; the [Error] carries a usable
+    one-line message. *)
+
+val map :
+  ?backend:t ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?base_seed:int ->
+  ?backoff:float ->
+  ?faults:Flowsched_exec.Faults.plan ->
+  ?max_jobs_per_worker:int ->
+  ?progress:(Flowsched_exec.Pool.event -> unit) ->
+  ?on_result:(int -> 'b Flowsched_exec.Pool.outcome -> unit) ->
+  f:('a -> 'b) ->
+  'a array ->
+  'b Flowsched_exec.Pool.outcome array
+(** [Pool.map]'s surface with a [backend] selector (default [Fork], the
+    historical behaviour).  [max_jobs_per_worker] only means something for
+    [Fork] (worker recycling) and is ignored by the other backends. *)

@@ -1,0 +1,14 @@
+exception Expired of float
+
+type state = { mutable limit : (float * float) option }
+
+let local_key : state Domain.DLS.key = Domain.DLS.new_key (fun () -> { limit = None })
+
+let set v = (Domain.DLS.get local_key).limit <- v
+let get () = (Domain.DLS.get local_key).limit
+
+let check () =
+  match (Domain.DLS.get local_key).limit with
+  | Some (abs_deadline, budget) when Unix.gettimeofday () >= abs_deadline ->
+      raise (Expired budget)
+  | _ -> ()

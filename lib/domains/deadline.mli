@@ -1,0 +1,32 @@
+(** Cooperative per-domain deadlines.
+
+    A domain cannot be killed the way the fork pool SIGKILLs a hung worker
+    process: domains share the heap, so tearing one down mid-mutation would
+    corrupt the whole process.  Timeouts in the domains executor are
+    therefore {e cooperative}: the executor arms a domain-local deadline
+    before running a job, and long-running kernels (the MRT rho search, the
+    sweep-cell policy loop) call {!check} at safe points.  An attempt that
+    never checks is still bounded post hoc — the executor discards an
+    over-budget result exactly like the pool's inline mode.
+
+    The deadline is stored in [Domain.DLS], so arming it in one domain
+    never affects another; {!Parallel.map} propagates the caller's deadline
+    into the domains it spawns. *)
+
+exception Expired of float
+(** Carries the wall-clock budget (seconds) that was exceeded.  The
+    executor reports it as ["timed out after <budget>s"], matching the
+    fork pool's reason string. *)
+
+val set : (float * float) option -> unit
+(** [set (Some (abs_deadline, budget))] arms the calling domain's deadline
+    ([abs_deadline] in [Unix.gettimeofday] seconds); [set None] disarms it.
+    Reserved for executors ({!Executor}, {!Parallel}). *)
+
+val get : unit -> (float * float) option
+(** The calling domain's armed deadline, if any. *)
+
+val check : unit -> unit
+(** Raise [Expired budget] if the calling domain's deadline has passed;
+    no-op (one DLS load) when disarmed.  Sprinkle into loops whose single
+    iteration is long enough to matter. *)

@@ -1,0 +1,87 @@
+(* Indices grow without bound (OCaml ints don't wrap in any realistic run)
+   and are mapped into the power-of-two buffer by masking.  [top] is only
+   ever incremented — by a successful thief CAS, or by the owner CASing the
+   last element away from under the thieves — so there is no ABA. *)
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a option Atomic.t array Atomic.t;
+}
+
+let initial_capacity = 64
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.init initial_capacity (fun _ -> Atomic.make None));
+  }
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+
+(* Owner only.  Copying does not clear the old array: a thief still holding
+   it will read a stale-but-correct value and the CAS on [top] decides
+   whether it owns the element. *)
+let grow q ~bottom ~top =
+  let old = Atomic.get q.buf in
+  let n = Array.length old in
+  let bigger = Array.init (2 * n) (fun _ -> Atomic.make None) in
+  for i = top to bottom - 1 do
+    Atomic.set bigger.(i land ((2 * n) - 1)) (Atomic.get old.(i land (n - 1)))
+  done;
+  Atomic.set q.buf bigger
+
+let push q v =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let a = Atomic.get q.buf in
+  let a =
+    if b - t >= Array.length a then begin
+      grow q ~bottom:b ~top:t;
+      Atomic.get q.buf
+    end
+    else a
+  in
+  Atomic.set a.(b land (Array.length a - 1)) (Some v);
+  (* Publishing [bottom] after the slot write is what makes the element
+     visible to thieves fully constructed (SC atomics order the two). *)
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Already empty; restore the canonical empty shape. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let a = Atomic.get q.buf in
+    let slot = a.(b land (Array.length a - 1)) in
+    let v = Atomic.get slot in
+    if b > t then begin
+      (* At least two elements: thieves cannot reach index [b] (they would
+         have to read the pre-decrement [bottom] after our write of the
+         decremented one), so this take needs no CAS. *)
+      Atomic.set slot None;
+      v
+    end
+    else begin
+      (* Last element: race the thieves for it via [top]. *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then v else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let a = Atomic.get q.buf in
+    let v = Atomic.get a.(t land (Array.length a - 1)) in
+    if Atomic.compare_and_set q.top t (t + 1) then v else None
+  end

@@ -1,0 +1,39 @@
+(** Chase–Lev work-stealing deque.
+
+    One owner domain pushes and pops at the bottom (LIFO, so an owner keeps
+    working on what it most recently queued); any number of thief domains
+    steal from the top (FIFO, so thieves take the oldest work, which is the
+    natural order for a dealt-out job grid).  The classic algorithm (Chase
+    & Lev 2005, in the formulation of Lê et al. 2013) maps directly onto
+    OCaml 5's sequentially consistent [Atomic]s: [top] only grows and is
+    CASed by thieves (and by the owner for the final element), [bottom] is
+    written only by the owner, and the circular buffer holds one [Atomic]
+    cell per slot so a racing read is well-defined rather than undefined
+    behaviour.  The buffer grows geometrically (owner-side only); a thief
+    holding the old array is safe because index arithmetic, not the array
+    identity, arbitrates ownership of an element.
+
+    Progress guarantees: [push]/[pop] are wait-free for the owner (modulo
+    growth), [steal] is lock-free — a thief can lose a race and report
+    [None], in which case the caller just moves on to another victim. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add an element at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed element, or [None] when the
+    deque is empty (including when a thief won the race for the last
+    element). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: take the oldest element.  [None] when the deque looks
+    empty {e or} the CAS lost a race with another thief or with the owner
+    taking the last element — callers should treat [None] as "try
+    elsewhere, then retry". *)
+
+val size : 'a t -> int
+(** Snapshot of the current length; racy, only a heuristic. *)

@@ -1,0 +1,225 @@
+module Metrics = Flowsched_obs.Metrics
+module Trace = Flowsched_obs.Trace
+module Pool = Flowsched_exec.Pool
+module Faults = Flowsched_exec.Faults
+module Signals = Flowsched_exec.Signals
+
+(* The shared-memory analogue of "pool.*": fires in the coordinating
+   process either way, so backend-identity gates exclude both prefixes. *)
+let c_jobs_done = Metrics.counter "domains.jobs_done"
+let c_jobs_failed = Metrics.counter "domains.jobs_failed"
+let c_retries = Metrics.counter "domains.retries"
+let c_spawned = Metrics.counter "domains.spawned"
+let c_steals = Metrics.counter "domains.steals"
+let g_backoff_seconds = Metrics.gauge "domains.backoff_seconds"
+let h_job_seconds = Metrics.histogram "domains.job_seconds"
+
+(* Worker -> coordinator messages.  A plain mutex-guarded list: the
+   coordinator polls (1ms sleep when idle) rather than blocking on a
+   condition variable, so the interrupt flag is observed promptly and the
+   sleeping coordinator yields its core to the workers. *)
+type 'b msg = Event of Pool.event | Settled of int * 'b Pool.outcome
+
+type 'b chan = { mu : Mutex.t; mutable q : 'b msg list (* newest first *) }
+
+let send ch m = Mutex.protect ch.mu (fun () -> ch.q <- m :: ch.q)
+
+let drain_chan ch =
+  Mutex.protect ch.mu (fun () ->
+      let q = ch.q in
+      ch.q <- [];
+      List.rev q)
+
+let sleep_quietly s = try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let timeout_reason t = Printf.sprintf "timed out after %.3gs" t
+
+(* One job, run to settlement (retries included) inside the current worker
+   domain — the same state machine as the pool's inline mode, minus the
+   interrupt check (the worker loop handles [stop] between jobs). *)
+let run_job ~chan ~timeout ~retries ~base_seed ~backoff ~faults ~remaining ~stop ~f ~inputs job
+    =
+  let rec attempt k =
+    send chan (Event (Pool.Job_started { job; attempt = k }));
+    let fault =
+      match faults with
+      | None -> None
+      | Some plan ->
+          let d = Faults.decide plan ~job ~attempt:k in
+          Option.iter Faults.note_injected d;
+          d
+    in
+    let t0 = Unix.gettimeofday () in
+    Random.init (Pool.seed_for ~base_seed job);
+    Deadline.set (Option.map (fun t -> (t0 +. t, t)) timeout);
+    let result =
+      match fault with
+      | Some kind ->
+          (* Crash/Hang/Corrupt have no shared-memory equivalent; degrade
+             every kind to a transient failure like the pool's inline mode. *)
+          Error (Faults.reason kind ~job ~attempt:k)
+      | None -> (
+          match f inputs.(job) with
+          | v -> Ok v
+          | exception Deadline.Expired budget -> Error (timeout_reason budget)
+          | exception e -> Error (Printexc.to_string e))
+    in
+    Deadline.set None;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let result =
+      (* Post-hoc wall-clock enforcement for attempts that never reached a
+         cooperative check, mirroring inline mode. *)
+      match (result, timeout) with
+      | Ok _, Some t when elapsed >= t -> Error (timeout_reason t)
+      | _ -> result
+    in
+    match result with
+    | Ok v ->
+        Metrics.incr c_jobs_done;
+        Metrics.observe h_job_seconds elapsed;
+        send chan (Event (Pool.Job_done { job; attempt = k; elapsed }));
+        Atomic.decr remaining;
+        send chan (Settled (job, Pool.Done v))
+    | Error reason ->
+        if k <= retries && not (Atomic.get stop) then begin
+          Metrics.incr c_retries;
+          send chan (Event (Pool.Job_retried { job; attempt = k; reason }));
+          let delay = Pool.backoff_delay ~backoff ~base_seed ~job ~attempt:k in
+          if delay > 0. then begin
+            Metrics.add_gauge g_backoff_seconds delay;
+            sleep_quietly delay
+          end;
+          attempt (k + 1)
+        end
+        else begin
+          Metrics.incr c_jobs_failed;
+          send chan (Event (Pool.Job_failed { job; attempts = k; reason }));
+          Atomic.decr remaining;
+          send chan (Settled (job, Pool.Failed { attempts = k; reason }))
+        end
+  in
+  attempt 1
+
+let worker ~idx ~deques ~stop ~remaining ~run =
+  let ndom = Array.length deques in
+  let mine = deques.(idx) in
+  (* Find work: own deque first (LIFO), then sweep the others as a thief.
+     After a few empty sweeps, sleep briefly instead of spinning — on a
+     box with fewer cores than domains the sleep is what lets the busy
+     domains actually run. *)
+  let rec loop idle =
+    if Atomic.get stop || Atomic.get remaining <= 0 then ()
+    else
+      match Deque.pop mine with
+      | Some job ->
+          run job;
+          loop 0
+      | None -> (
+          let rec sweep k =
+            if k >= ndom then None
+            else
+              match Deque.steal deques.((idx + k) mod ndom) with
+              | Some job ->
+                  Metrics.incr c_steals;
+                  Some job
+              | None -> sweep (k + 1)
+          in
+          match sweep 1 with
+          | Some job ->
+              run job;
+              loop 0
+          | None ->
+              if idle >= 8 then sleep_quietly 0.0005 else Domain.cpu_relax ();
+              loop (min (idle + 1) 8))
+  in
+  loop 0;
+  (* The worker's whole observable contribution travels back through the
+     join: its domain-local metric cells and span buffer. *)
+  (Metrics.snapshot (), Trace.drain ())
+
+let run_domains ~jobs ~timeout ~retries ~base_seed ~backoff ~faults ~interrupted ~progress
+    ~on_result ~f inputs =
+  let n = Array.length inputs in
+  (* Never spawn more domains than the hardware can run: oversubscribed
+     domains all participate in every stop-the-world minor collection, and
+     on a loaded or small box that synchronization costs more than the
+     parallelism recovers (measured ~2x slowdown at 4 domains on 1 core).
+     Job results and seeds depend only on the job index, never on which
+     domain ran the job, so capping the worker count cannot change output. *)
+  let ndom = min (min jobs n) (Domain.recommended_domain_count ()) in
+  let ndom = max 1 ndom in
+  let deques = Array.init ndom (fun _ -> Deque.create ()) in
+  (* Deal round-robin, pushed in descending job order so each owner pops
+     its lowest-numbered job first. *)
+  for job = n - 1 downto 0 do
+    Deque.push deques.(job mod ndom) job
+  done;
+  let stop = Atomic.make false in
+  let remaining = Atomic.make n in
+  let chan = { mu = Mutex.create (); q = [] } in
+  let results = Array.make n None in
+  let settled = ref 0 in
+  let settle job outcome =
+    if results.(job) = None then begin
+      results.(job) <- Some outcome;
+      incr settled;
+      on_result job outcome
+    end
+  in
+  let process = function
+    | Event e -> progress e
+    | Settled (job, outcome) -> settle job outcome
+  in
+  Metrics.incr c_spawned ~by:ndom;
+  let doms =
+    Array.init ndom (fun idx ->
+        Domain.spawn (fun () ->
+            worker ~idx ~deques ~stop ~remaining
+              ~run:
+                (run_job ~chan ~timeout ~retries ~base_seed ~backoff ~faults ~remaining ~stop
+                   ~f ~inputs)))
+  in
+  let interrupt_seen = ref false in
+  while !settled < n && not !interrupt_seen do
+    if !interrupted then interrupt_seen := true
+    else begin
+      match drain_chan chan with
+      | [] -> sleep_quietly 0.001
+      | msgs -> List.iter process msgs
+    end
+  done;
+  Atomic.set stop true;
+  (* Join in index order and absorb each worker's metrics and spans in that
+     order — the only deterministic merge order available, and the
+     associativity of the merge algebra makes it equal the inline totals. *)
+  Array.iter
+    (fun d ->
+      let snap, spans = Domain.join d in
+      Metrics.absorb snap;
+      Trace.absorb spans)
+    doms;
+  (* Anything that settled while we were interrupting is still delivered:
+     completed work stays durable (checkpoint hooks ride on_result). *)
+  List.iter process (drain_chan chan);
+  if !interrupt_seen then raise Pool.Interrupted;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let map ?jobs ?timeout ?(retries = 1) ?(base_seed = 0) ?(backoff = 0.) ?faults
+    ?(progress = fun _ -> ()) ?(on_result = fun _ _ -> ()) ~f inputs =
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  if Array.length inputs = 0 then [||]
+  else if jobs = 1 then
+    (* One sequential path for both backends: the pool's inline mode. *)
+    Pool.map ~jobs:1 ?timeout ~retries ~base_seed ~backoff ?faults ~progress ~on_result ~f
+      inputs
+  else
+    Signals.with_interrupt_flag (fun interrupted ->
+        Trace.with_span "domains.map"
+          ~args:(fun () ->
+            [
+              ("jobs", Flowsched_util.Json.Int jobs);
+              ("inputs", Flowsched_util.Json.Int (Array.length inputs));
+            ])
+          (fun () ->
+            run_domains ~jobs ~timeout ~retries ~base_seed ~backoff ~faults ~interrupted
+              ~progress ~on_result ~f inputs))

@@ -1,0 +1,62 @@
+(** Shared-memory executor: the {!Flowsched_exec.Pool} contract on OCaml 5
+    domains.
+
+    [map] exposes the same submit/settle surface as [Pool.map] — input
+    order preserved, deterministic per-job [Random] reseeding
+    ({!Flowsched_exec.Pool.seed_for}), bounded retry with the pool's
+    deterministic backoff schedule, per-attempt timeouts, fault-plane
+    hooks, [progress]/[on_result] callbacks in the calling domain — but
+    runs the jobs on a fixed set of spawned domains pulling from
+    work-stealing deques ({!Deque}) instead of forked processes, so there
+    is no [Marshal] serialization on either the payload or the result
+    path, and job code can itself go parallel ({!Parallel}).
+
+    Semantic deltas vs the forked pool, all inherited from sharing one
+    address space:
+
+    - Timeouts are {e cooperative} ({!Deadline}): the executor arms a
+      domain-local deadline and instrumented kernels raise out of the
+      attempt; an attempt that never checks is discarded post hoc once it
+      returns over budget (exactly the pool's inline-mode rule, including
+      the ["timed out after <t>s"] reason string).
+    - Fault kinds [Crash] and [Hang] degrade to transient failures with
+      the same {!Flowsched_exec.Faults.reason} text as inline mode — a
+      domain cannot be SIGKILLed without taking the process with it.
+      [Corrupt] likewise: there are no frames to damage.
+    - Worker recycling ([max_jobs_per_worker]) does not exist: domains
+      hold no per-process resources to leak.
+
+    Observability: worker domains record into their own domain-local
+    {!Flowsched_obs.Metrics} cells and {!Flowsched_obs.Trace} buffers; at
+    join time (also after an interrupt) the executor absorbs each worker's
+    snapshot and drained spans into the calling domain {e in domain index
+    order}, so merged totals are deterministic and equal an inline run.
+    The executor's own counters live under ["domains.*"] ([jobs_done],
+    [jobs_failed], [retries], [steals], [spawned], the [backoff_seconds]
+    gauge and [job_seconds] histogram) — the shared-memory analogue of
+    ["pool.*"], excluded from backend-identity comparisons the same way.
+
+    Interrupts: SIGINT/SIGTERM set a flag; the settle loop notices,
+    signals the worker domains to stop (they finish their current attempt
+    — cooperative, like timeouts), joins them, absorbs their metrics and
+    partial trace buffers, delivers any already-settled results through
+    [on_result], and raises {!Flowsched_exec.Pool.Interrupted}. *)
+
+val map :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?base_seed:int ->
+  ?backoff:float ->
+  ?faults:Flowsched_exec.Faults.plan ->
+  ?progress:(Flowsched_exec.Pool.event -> unit) ->
+  ?on_result:(int -> 'b Flowsched_exec.Pool.outcome -> unit) ->
+  f:('a -> 'b) ->
+  'a array ->
+  'b Flowsched_exec.Pool.outcome array
+(** [map ~f inputs] with [jobs] worker domains (default
+    {!Flowsched_exec.Pool.default_jobs}; [jobs <= 1] delegates to the
+    pool's inline mode, so the two backends share one sequential path).
+    Jobs are dealt round-robin across the worker deques and rebalanced by
+    stealing; retries run in whichever domain held the job when it failed.
+    All callbacks fire in the calling domain. *)

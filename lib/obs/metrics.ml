@@ -1,43 +1,126 @@
 let n_buckets = 64
 
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
-type histogram = { hbuckets : int array; mutable hsum : float; mutable hcount : int }
+(* ------------------------------------------------------------------ *)
+(* Domain-local cells behind process-global handles.                    *)
+(*                                                                      *)
+(* A handle is just a name plus a [Domain.DLS] key: every domain that    *)
+(* touches the handle lazily materializes its own private cell, so the   *)
+(* hot-path mutation ([incr], [observe]) is an unsynchronized record     *)
+(* write with no cross-domain traffic.  Each domain also keeps a local   *)
+(* registry (name -> cell) of the cells it materialized; [snapshot],     *)
+(* [reset], and [absorb] operate on that local registry only.  Executors *)
+(* (the fork pool and the domains executor alike) carry per-worker       *)
+(* snapshots back to the coordinating domain and [absorb] them there, so *)
+(* process totals flow through the same associative merge algebra        *)
+(* regardless of how work was spread out.                                *)
+(* ------------------------------------------------------------------ *)
 
-type metric = C of counter | G of gauge | H of histogram
+type ccell = { mutable c : int }
+type gcell = { mutable g : float }
+type hcell = { hbuckets : int array; mutable hsum : float; mutable hcount : int }
+type cell = Cc of ccell | Gc of gcell | Hc of hcell
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let local_key : (string, cell) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
-let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+let local () = Domain.DLS.get local_key
+
+type counter = { ckey : ccell Domain.DLS.key }
+type gauge = { gkey : gcell Domain.DLS.key }
+type histogram = { hkey : hcell Domain.DLS.key }
+
+type handle = Ch of counter | Gh of gauge | Hh of histogram
+
+(* Name -> handle, shared by all domains; guarded by a mutex because
+   handles can be created dynamically (e.g. [absorb] of a snapshot naming
+   a metric this process never registered). *)
+let handles : (string, handle) Hashtbl.t = Hashtbl.create 64
+let handles_mutex = Mutex.create ()
+
+let kind_name = function Ch _ -> "counter" | Gh _ -> "gauge" | Hh _ -> "histogram"
 
 let register name make match_kind =
-  match Hashtbl.find_opt registry name with
-  | Some m -> (
-      match match_kind m with
-      | Some h -> h
+  Mutex.protect handles_mutex (fun () ->
+      match Hashtbl.find_opt handles name with
+      | Some h -> (
+          match match_kind h with
+          | Some x -> x
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %S is already registered as a %s" name (kind_name h)))
       | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %S is already registered as a %s" name (kind_name m)))
-  | None ->
-      let m = make () in
-      Hashtbl.add registry name m;
-      (match match_kind m with Some h -> h | None -> assert false)
+          let h = make () in
+          Hashtbl.add handles name h;
+          (match match_kind h with Some x -> x | None -> assert false))
 
+(* Creating a handle also materializes its cell in the creating domain, so
+   statically-registered metrics (handles made at module init, on the main
+   domain) show up in that domain's snapshot at zero even if never touched
+   there — a coordinator that only absorbs worker diffs (which filter
+   zeros) must still report the same metric set as an inline run. *)
 let counter name =
-  register name (fun () -> C { c = 0 }) (function C h -> Some h | _ -> None)
+  let h =
+    register name
+      (fun () ->
+        Ch
+          {
+            ckey =
+              Domain.DLS.new_key (fun () ->
+                  let cell = { c = 0 } in
+                  Hashtbl.replace (local ()) name (Cc cell);
+                  cell);
+          })
+      (function Ch h -> Some h | _ -> None)
+  in
+  ignore (Domain.DLS.get h.ckey : ccell);
+  h
 
-let gauge name = register name (fun () -> G { g = 0. }) (function G h -> Some h | _ -> None)
+let gauge name =
+  let h =
+    register name
+      (fun () ->
+        Gh
+          {
+            gkey =
+              Domain.DLS.new_key (fun () ->
+                  let cell = { g = 0. } in
+                  Hashtbl.replace (local ()) name (Gc cell);
+                  cell);
+          })
+      (function Gh h -> Some h | _ -> None)
+  in
+  ignore (Domain.DLS.get h.gkey : gcell);
+  h
 
 let histogram name =
-  register name
-    (fun () -> H { hbuckets = Array.make n_buckets 0; hsum = 0.; hcount = 0 })
-    (function H h -> Some h | _ -> None)
+  let h =
+    register name
+      (fun () ->
+        Hh
+          {
+            hkey =
+              Domain.DLS.new_key (fun () ->
+                  let cell = { hbuckets = Array.make n_buckets 0; hsum = 0.; hcount = 0 } in
+                  Hashtbl.replace (local ()) name (Hc cell);
+                  cell);
+          })
+      (function Hh h -> Some h | _ -> None)
+  in
+  ignore (Domain.DLS.get h.hkey : hcell);
+  h
 
-let incr ?(by = 1) h = h.c <- h.c + by
-let counter_value h = h.c
-let add_gauge h v = h.g <- h.g +. v
-let set_gauge h v = h.g <- v
-let gauge_value h = h.g
+let incr ?(by = 1) h =
+  let cell = Domain.DLS.get h.ckey in
+  cell.c <- cell.c + by
+
+let counter_value h = (Domain.DLS.get h.ckey).c
+
+let add_gauge h v =
+  let cell = Domain.DLS.get h.gkey in
+  cell.g <- cell.g +. v
+
+let set_gauge h v = (Domain.DLS.get h.gkey).g <- v
+let gauge_value h = (Domain.DLS.get h.gkey).g
 
 (* Bucket 0 holds non-positive values; bucket i in 1..63 holds values whose
    [frexp] exponent is i - 32, clamped at both ends.  One bucket per octave. *)
@@ -50,30 +133,32 @@ let bucket_of v =
 let bucket_upper_bound i = if i <= 0 then 0. else Float.ldexp 1. (i - 32)
 
 let observe h v =
+  let cell = Domain.DLS.get h.hkey in
   let b = bucket_of v in
-  h.hbuckets.(b) <- h.hbuckets.(b) + 1;
-  h.hsum <- h.hsum +. v;
-  h.hcount <- h.hcount + 1
+  cell.hbuckets.(b) <- cell.hbuckets.(b) + 1;
+  cell.hsum <- cell.hsum +. v;
+  cell.hcount <- cell.hcount + 1
 
 let histogram_quantile h q =
   if Float.is_nan q || q < 0. || q > 1. then
     invalid_arg "Metrics.histogram_quantile: quantile must be in [0, 1]";
-  if h.hcount = 0 then nan
+  let cell = Domain.DLS.get h.hkey in
+  if cell.hcount = 0 then nan
   else begin
     (* Smallest bucket whose cumulative occupancy reaches rank ceil(q * n)
        (at least 1, so q = 0 returns the first occupied bucket's bound). *)
-    let target = max 1 (int_of_float (ceil (q *. float_of_int h.hcount))) in
+    let target = max 1 (int_of_float (ceil (q *. float_of_int cell.hcount))) in
     let rec go i acc =
       if i >= n_buckets then bucket_upper_bound (n_buckets - 1)
       else
-        let acc = acc + h.hbuckets.(i) in
+        let acc = acc + cell.hbuckets.(i) in
         if acc >= target then bucket_upper_bound i else go (i + 1) acc
     in
     go 0 0
   end
 
-let histogram_count h = h.hcount
-let histogram_sum h = h.hsum
+let histogram_count h = (Domain.DLS.get h.hkey).hcount
+let histogram_sum h = (Domain.DLS.get h.hkey).hsum
 
 type value =
   | Counter of int
@@ -83,9 +168,9 @@ type value =
 type snapshot = (string * value) list
 
 let value_of = function
-  | C h -> Counter h.c
-  | G h -> Gauge h.g
-  | H h ->
+  | Cc h -> Counter h.c
+  | Gc h -> Gauge h.g
+  | Hc h ->
       let buckets = ref [] in
       for i = n_buckets - 1 downto 0 do
         if h.hbuckets.(i) <> 0 then buckets := (i, h.hbuckets.(i)) :: !buckets
@@ -93,20 +178,20 @@ let value_of = function
       Histogram { buckets = !buckets; sum = h.hsum; count = h.hcount }
 
 let snapshot () =
-  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) (local ()) []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset () =
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | C h -> h.c <- 0
-      | G h -> h.g <- 0.
-      | H h ->
+      | Cc h -> h.c <- 0
+      | Gc h -> h.g <- 0.
+      | Hc h ->
           Array.fill h.hbuckets 0 n_buckets 0;
           h.hsum <- 0.;
           h.hcount <- 0)
-    registry
+    (local ())
 
 (* Bucket lists are sorted by index; add occupancies bucket-wise. *)
 let add_buckets a b =
@@ -169,7 +254,7 @@ let absorb snap =
       | Counter x -> incr ~by:x (counter name)
       | Gauge x -> add_gauge (gauge name) x
       | Histogram { buckets; sum; count } ->
-          let h = histogram name in
+          let h = Domain.DLS.get (histogram name).hkey in
           List.iter
             (fun (i, n) -> if i >= 0 && i < n_buckets then h.hbuckets.(i) <- h.hbuckets.(i) + n)
             buckets;

@@ -1,11 +1,18 @@
-(** Process-wide metrics registry: named counters, gauges, and log-scale
-    histograms with typed handles.
+(** Metrics registry: named counters, gauges, and log-scale histograms
+    with typed handles, domain-safe by construction.
 
-    Handles are looked up (or created) once by name; increments after that
-    are a single record-field mutation, cheap enough for hot loops like the
-    simplex pivot path.  Snapshots are plain data — they marshal across the
-    {!Flowsched_exec.Pool} fork boundary so a parent can {!merge} (or
-    {!absorb}) per-worker metric deltas deterministically.
+    Handles are looked up (or created) once by name and are shared freely
+    across domains; the cells behind them are {e domain-local}
+    ([Domain.DLS]), so increments after lookup are a single unsynchronized
+    record-field mutation, cheap enough for hot loops like the simplex
+    pivot path and race-free under OCaml 5 domains.  {!snapshot}, {!reset},
+    and {!absorb} act on the calling domain's cells only: an executor
+    (forked worker or spawned domain) snapshots its own contribution and
+    the coordinating domain {!absorb}s it, so process totals flow through
+    the same merge algebra whether work ran inline, across forked
+    processes, or across domains.  Snapshots are plain data — they marshal
+    across the {!Flowsched_exec.Pool} fork boundary and pass by reference
+    across [Domain.join].
 
     Merge semantics are chosen so that [merge] is associative and, on
     disjoint names, commutative:
@@ -67,8 +74,12 @@ type snapshot = (string * value) list
 (** Sorted by name ([String.compare]); plain data, safe to [Marshal]. *)
 
 val snapshot : unit -> snapshot
+(** The calling domain's cells (only metrics this domain has touched;
+    absent means zero). *)
+
 val reset : unit -> unit
-(** Zero every registered metric (handles stay valid). *)
+(** Zero every metric cell of the calling domain (handles stay valid;
+    other domains' cells are untouched). *)
 
 val merge : snapshot -> snapshot -> snapshot
 (** Name-wise sum; raises [Invalid_argument] on a kind mismatch. *)

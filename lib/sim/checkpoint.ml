@@ -112,18 +112,20 @@ let resume_run ~kind ~key ~decode ~encode ~run_cells t cells =
       match Hashtbl.find_opt recovered (key c) with Some r -> r | None -> Queue.pop q)
     cells
 
-let run_sweep ~policies ?progress ?jobs ?timeout ?retries ?faults t cells =
+let run_sweep ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults t cells =
   resume_run ~kind:"sweep" ~key:sweep_key
     ~decode:(fun c j -> Report.sweep_result_of_json ~sweep:c j)
     ~encode:Report.sweep_cell_json
     ~run_cells:(fun on_result todo ->
-      Experiment.run_sweep ~policies ?progress ?jobs ?timeout ?retries ?faults ~on_result todo)
+      Experiment.run_sweep ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults
+        ~on_result todo)
     t cells
 
-let run_grid ~policies ?progress ?jobs ?timeout ?retries ?faults t cells =
+let run_grid ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults t cells =
   resume_run ~kind:"grid" ~key:grid_key
     ~decode:(fun c j -> Report.cell_result_of_json ~config:c j)
     ~encode:Report.cell_json
     ~run_cells:(fun on_result todo ->
-      Experiment.run_grid ~policies ?progress ?jobs ?timeout ?retries ?faults ~on_result todo)
+      Experiment.run_grid ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults
+        ~on_result todo)
     t cells

@@ -38,6 +38,7 @@ val close : t -> unit
 val run_sweep :
   policies:Flowsched_online.Policy.t list ->
   ?progress:(string -> unit) ->
+  ?backend:Flowsched_domains.Backend.t ->
   ?jobs:int ->
   ?timeout:float ->
   ?retries:int ->
@@ -55,6 +56,7 @@ val run_sweep :
 val run_grid :
   policies:Flowsched_online.Policy.t list ->
   ?progress:(string -> unit) ->
+  ?backend:Flowsched_domains.Backend.t ->
   ?jobs:int ->
   ?timeout:float ->
   ?retries:int ->

@@ -35,6 +35,7 @@ val run_cell : policies:Flowsched_online.Policy.t list -> cell_config -> cell_re
 val run_grid :
   policies:Flowsched_online.Policy.t list ->
   ?progress:(string -> unit) ->
+  ?backend:Flowsched_domains.Backend.t ->
   ?jobs:int ->
   ?timeout:float ->
   ?retries:int ->
@@ -42,10 +43,13 @@ val run_grid :
   ?on_result:(cell_config -> cell_result -> unit) ->
   cell_config list -> cell_result list
 (** Runs every cell and returns results in input order.  With [jobs > 1]
-    the mutually independent cells are fanned out across a
-    {!Flowsched_exec.Pool} of forked workers; because results are merged in
-    job order and each cell derives all randomness from its own seed, the
-    output is byte-identical to the sequential [jobs = 1] run.  A cell that
+    the mutually independent cells are fanned out across the selected
+    [backend] (default [Fork]: a {!Flowsched_exec.Pool} of forked workers;
+    [Domains] runs them on the shared-memory
+    {!Flowsched_domains.Executor}; [Inline] forces the sequential path);
+    because results are merged in job order and each cell derives all
+    randomness from its own seed, the output is byte-identical to the
+    sequential [jobs = 1] run on every backend.  A cell that
     keeps failing after the pool's retry budget ([retries], default 1)
     raises [Failure]; [timeout] bounds each attempt's wall clock and
     [faults] injects a deterministic chaos plan (see
@@ -107,6 +111,7 @@ val run_sweep_cell :
 val run_sweep :
   policies:Flowsched_online.Policy.t list ->
   ?progress:(string -> unit) ->
+  ?backend:Flowsched_domains.Backend.t ->
   ?jobs:int ->
   ?timeout:float ->
   ?retries:int ->

@@ -1,0 +1,413 @@
+(* Tests for flowsched_domains: Chase–Lev deque invariants (sequential and
+   under concurrent stealing), cooperative deadlines, the shared-memory
+   executor's Pool-contract conformance (ordering, determinism, retry,
+   timeout, on_result), scoped Parallel.map fork–join semantics, and the
+   cross-backend equivalence property (inline = fork = domains, artifacts
+   and merged counters alike). *)
+
+open Flowsched_domains
+module Pool = Flowsched_exec.Pool
+module Metrics = Flowsched_obs.Metrics
+
+let contains haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec go i = i + k <= n && (String.sub haystack i k = needle || go (i + 1)) in
+  go 0
+
+let results_exn outcomes =
+  Array.map
+    (function
+      | Pool.Done v -> v
+      | Pool.Failed { reason; _ } -> Alcotest.failf "unexpected Failed: %s" reason)
+    outcomes
+
+(* Same job as the pool tests: the result depends on the payload through
+   enough PRNG work that any ordering or stream-aliasing bug scrambles it. *)
+let hash_job x =
+  let g = Flowsched_util.Prng.create x in
+  let acc = ref 0 in
+  for _ = 1 to 1000 do
+    acc := (!acc * 31) + Flowsched_util.Prng.int g 1000
+  done;
+  (x, !acc land 0xFFFF)
+
+(* --- Deque --- *)
+
+let test_deque_lifo_owner () =
+  let q = Deque.create () in
+  for i = 1 to 5 do
+    Deque.push q i
+  done;
+  Alcotest.(check (list (option int)))
+    "owner pops LIFO then empty"
+    [ Some 5; Some 4; Some 3; Some 2; Some 1; None ]
+    (List.init 6 (fun _ -> Deque.pop q))
+
+let test_deque_steal_fifo () =
+  let q = Deque.create () in
+  for i = 1 to 4 do
+    Deque.push q i
+  done;
+  Alcotest.(check (option int)) "steal takes oldest" (Some 1) (Deque.steal q);
+  Alcotest.(check (option int)) "steal takes next oldest" (Some 2) (Deque.steal q);
+  Alcotest.(check (option int)) "owner still LIFO" (Some 4) (Deque.pop q);
+  Alcotest.(check (option int)) "last element" (Some 3) (Deque.pop q);
+  Alcotest.(check (option int)) "empty steal" None (Deque.steal q)
+
+let test_deque_growth () =
+  (* Push far past the initial capacity, interleaving pops, and check
+     nothing is lost or duplicated. *)
+  let q = Deque.create () in
+  let popped = ref [] in
+  for i = 0 to 9999 do
+    Deque.push q i;
+    if i mod 3 = 0 then
+      match Deque.pop q with Some v -> popped := v :: !popped | None -> ()
+  done;
+  let rec drain acc = match Deque.pop q with Some v -> drain (v :: acc) | None -> acc in
+  let all = List.sort compare (!popped @ drain []) in
+  Alcotest.(check int) "all items present exactly once" 10000 (List.length all);
+  List.iteri (fun i v -> if i <> v then Alcotest.failf "lost or duplicated item %d" i) all
+
+let test_deque_concurrent_steal () =
+  (* One owner pushes and pops; several thieves steal concurrently.  Every
+     pushed item must be consumed exactly once across all parties.  (On a
+     single-core box the domains timeshare, which still exercises the
+     CAS races around the last element.) *)
+  let q = Deque.create () in
+  let n = 20_000 and nthieves = 3 in
+  let stolen = Array.make nthieves [] in
+  let stop = Atomic.make false in
+  let thieves =
+    Array.init nthieves (fun t ->
+        Domain.spawn (fun () ->
+            let mine = ref [] in
+            while not (Atomic.get stop) do
+              match Deque.steal q with
+              | Some v -> mine := v :: !mine
+              | None -> Domain.cpu_relax ()
+            done;
+            (* final sweep so nothing is stranded *)
+            let rec sweep () =
+              match Deque.steal q with
+              | Some v ->
+                  mine := v :: !mine;
+                  sweep ()
+              | None -> ()
+            in
+            sweep ();
+            stolen.(t) <- !mine))
+  in
+  let popped = ref [] in
+  for i = 0 to n - 1 do
+    Deque.push q i;
+    if i land 7 = 0 then
+      match Deque.pop q with Some v -> popped := v :: !popped | None -> ()
+  done;
+  let rec drain () =
+    match Deque.pop q with
+    | Some v ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  let all =
+    List.sort compare (Array.fold_left (fun acc l -> l @ acc) !popped stolen)
+  in
+  Alcotest.(check int) "every item consumed exactly once" n (List.length all);
+  List.iteri (fun i v -> if i <> v then Alcotest.failf "item %d lost or duplicated" i) all
+
+(* --- Deadline --- *)
+
+let test_deadline_expires () =
+  Deadline.set (Some (Unix.gettimeofday () -. 0.01, 0.5));
+  (match Deadline.check () with
+  | () -> Alcotest.fail "expired deadline did not raise"
+  | exception Deadline.Expired b ->
+      Alcotest.(check (float 1e-9)) "carries the budget" 0.5 b);
+  Deadline.set None;
+  Deadline.check ();
+  Alcotest.(check bool) "disarmed after set None" true (Deadline.get () = None)
+
+(* --- Executor --- *)
+
+let test_executor_matches_inline () =
+  let inputs = Array.init 40 (fun i -> i + 1) in
+  let seq = results_exn (Pool.map ~jobs:1 ~f:hash_job inputs) in
+  let par = results_exn (Executor.map ~jobs:4 ~f:hash_job inputs) in
+  Alcotest.(check (array (pair int int))) "byte-identical merge order" seq par
+
+let test_executor_random_reseeded_per_job () =
+  let f _ = Random.int 1_000_000 in
+  let inputs = Array.init 16 (fun i -> i) in
+  let seq = results_exn (Pool.map ~jobs:1 ~f inputs) in
+  let par = results_exn (Executor.map ~jobs:4 ~f inputs) in
+  Alcotest.(check (array int)) "same Random draws as inline" seq par
+
+let test_executor_retry_then_done () =
+  (* Shared memory makes cross-attempt state trivial: fail each odd job's
+     first two attempts, then succeed.  With retries = 2 every job ends
+     Done; attempts are invisible in Done but the jobs must all recover. *)
+  let attempts = Array.make 8 0 in
+  let f x =
+    let a = attempts.(x) in
+    attempts.(x) <- a + 1;
+    if x land 1 = 1 && a < 2 then failwith "transient";
+    x * 10
+  in
+  let outcomes =
+    Executor.map ~jobs:3 ~retries:2 ~backoff:0.001 ~f (Array.init 8 (fun i -> i))
+  in
+  Alcotest.(check (array int))
+    "all recovered" (Array.init 8 (fun i -> i * 10)) (results_exn outcomes);
+  Array.iteri
+    (fun x a -> Alcotest.(check int) "attempt count" (if x land 1 = 1 then 3 else 1) a)
+    attempts
+
+let test_executor_failed_after_budget () =
+  let outcomes =
+    Executor.map ~jobs:2 ~retries:1 ~backoff:0.001
+      ~f:(fun x -> if x = 2 then failwith "always broken" else x)
+      [| 0; 1; 2; 3 |]
+  in
+  (match outcomes.(2) with
+  | Pool.Failed { attempts; reason } ->
+      Alcotest.(check int) "retries + 1 attempts" 2 attempts;
+      Alcotest.(check bool) "reason text preserved" true (contains reason "always broken")
+  | Pool.Done _ -> Alcotest.fail "job 2 should have failed");
+  Alcotest.(check int) "other jobs fine" 3 (match outcomes.(3) with
+    | Pool.Done v -> v
+    | Pool.Failed _ -> -1)
+
+let test_executor_cooperative_timeout () =
+  (* The job checks its deadline mid-loop, so the attempt is cut short and
+     reported with the pool's timeout reason string. *)
+  let f _ =
+    for _ = 1 to 1000 do
+      Deadline.check ();
+      Unix.sleepf 0.002
+    done
+  in
+  let outcomes = Executor.map ~jobs:2 ~timeout:0.02 ~retries:0 ~f [| 0 |] in
+  match outcomes.(0) with
+  | Pool.Failed { reason; _ } ->
+      Alcotest.(check bool) "timeout reason" true (contains reason "timed out after")
+  | Pool.Done _ -> Alcotest.fail "should have timed out"
+
+let test_executor_posthoc_timeout () =
+  (* A job that never checks is still discarded once it returns over
+     budget — the inline-mode rule. *)
+  let outcomes =
+    Executor.map ~jobs:2 ~timeout:0.01 ~retries:0 ~f:(fun _ -> Unix.sleepf 0.05) [| 0 |]
+  in
+  match outcomes.(0) with
+  | Pool.Failed { reason; _ } ->
+      Alcotest.(check bool) "post-hoc timeout" true (contains reason "timed out after")
+  | Pool.Done _ -> Alcotest.fail "should have timed out post hoc"
+
+let test_executor_on_result_once_each () =
+  let seen = Hashtbl.create 16 in
+  let outcomes =
+    Executor.map ~jobs:4
+      ~on_result:(fun job outcome ->
+        if Hashtbl.mem seen job then Alcotest.failf "on_result fired twice for %d" job;
+        Hashtbl.replace seen job outcome)
+      ~f:(fun x -> x + 1)
+      (Array.init 12 (fun i -> i))
+  in
+  Alcotest.(check int) "fired once per job" 12 (Hashtbl.length seen);
+  Hashtbl.iter
+    (fun job o ->
+      match (o, outcomes.(job)) with
+      | Pool.Done a, Pool.Done b -> Alcotest.(check int) "same payload" b a
+      | _ -> Alcotest.fail "outcome mismatch")
+    seen
+
+let test_executor_metrics_absorbed () =
+  (* Counter increments made inside worker domains must all be visible in
+     the caller after map returns. *)
+  let c = Metrics.counter "test.domains_exec_incr" in
+  let before = Metrics.counter_value c in
+  ignore
+    (results_exn
+       (Executor.map ~jobs:4 ~f:(fun _ -> Metrics.incr c) (Array.init 20 (fun i -> i))));
+  Alcotest.(check int) "all increments absorbed" (before + 20) (Metrics.counter_value c)
+
+(* --- Parallel --- *)
+
+let test_parallel_map_order () =
+  let expected = Array.init 37 (fun i -> hash_job i) in
+  Alcotest.(check (array (pair int int)))
+    "index order preserved" expected
+    (Parallel.map ~width:4 37 hash_job);
+  Alcotest.(check (array (pair int int)))
+    "width 1 sequential path" expected
+    (Parallel.map ~width:1 37 hash_job);
+  Alcotest.(check (array (pair int int)))
+    "width beyond n" expected
+    (Parallel.map ~width:64 37 hash_job)
+
+let test_parallel_map_exception () =
+  (* All indices run under domains; the smallest raising index wins. *)
+  match Parallel.map ~width:3 9 (fun i -> if i >= 4 then failwith (string_of_int i) else i) with
+  | _ -> Alcotest.fail "expected exception"
+  | exception Failure msg -> Alcotest.(check string) "smallest raising index" "4" msg
+
+let test_parallel_map_metrics () =
+  let c = Metrics.counter "test.domains_par_incr" in
+  let before = Metrics.counter_value c in
+  ignore (Parallel.map ~width:4 25 (fun _ -> Metrics.incr c));
+  Alcotest.(check int) "spawned-domain increments absorbed" (before + 25)
+    (Metrics.counter_value c)
+
+(* --- Cross-backend equivalence (QCheck) --- *)
+
+module Experiment = Flowsched_sim.Experiment
+module Report = Flowsched_sim.Report
+module Simplex = Flowsched_lp.Simplex
+
+(* Wall-clock and simplex phase timers are the only nondeterministic fields
+   in a sweep result; zero them so renderings compare byte-for-byte. *)
+let zero_timing (r : Experiment.sweep_result) =
+  {
+    r with
+    Experiment.wall_s = 0.;
+    lp_counters =
+      Option.map
+        (fun c -> { c with Simplex.phase1_seconds = 0.; phase2_seconds = 0. })
+        r.Experiment.lp_counters;
+  }
+
+let algorithmic_counters snap =
+  List.filter_map
+    (fun (name, v) ->
+      match v with
+      | Metrics.Counter n
+        when not
+               (contains name "pool." || contains name "domains."
+               || contains name "trace.") ->
+          Some (name, n)
+      | _ -> None)
+    snap
+
+(* OCaml 5 forbids Unix.fork once ANY domain has ever been spawned in the
+   process, so the property runs in one QCheck iteration over a random
+   {e list} of grids with every fork leg executed before the first domains
+   leg — and the properties group is listed first in the suite, before the
+   unit tests that spawn domains.  (Shrink re-runs after a failure happen
+   with domains already spawned; the fork leg is skipped then, which only
+   affects the minimization of an already-reported failure.) *)
+let domains_spawned = ref false
+
+let prop_backend_equivalence =
+  QCheck2.Test.make ~name:"inline = fork = domains (artifact and counters)" ~count:1
+    QCheck2.Gen.(
+      list_size (int_range 2 4)
+        (triple (int_range 1 1_000_000) (int_range 1 3) (int_range 3 5)))
+    (fun specs ->
+      let policies =
+        [ Flowsched_online.Heuristics.maxcard; Flowsched_online.Heuristics.minrtime ]
+      in
+      let grids =
+        List.map
+          (fun (seed, ncells, horizon) ->
+            List.init ncells (fun i ->
+                {
+                  Experiment.workload =
+                    (if (seed + i) mod 2 = 0 then "poisson" else "uniform");
+                  ports = 4;
+                  arrival_rate = 2.0;
+                  horizon;
+                  max_demand = 3;
+                  sweep_seed = seed + (31 * i);
+                  lp = true;
+                }))
+          specs
+      in
+      let run backend jobs cells =
+        let before = Metrics.snapshot () in
+        let results = Experiment.run_sweep ~policies ~backend ~jobs cells in
+        let counters =
+          algorithmic_counters (Metrics.diff (Metrics.snapshot ()) before)
+        in
+        let artifact =
+          Flowsched_util.Json.to_string
+            (Report.sweep_json ~jobs:1 (List.map zero_timing results))
+        in
+        (artifact, counters)
+      in
+      let fork_sides =
+        if !domains_spawned then None else Some (List.map (run Backend.Fork 4) grids)
+      in
+      let inline_sides = List.map (run Backend.Inline 1) grids in
+      domains_spawned := true;
+      let domains_sides = List.map (run Backend.Domains 4) grids in
+      List.iteri
+        (fun g ((ai, ci), (ad, cd)) ->
+          if ai <> ad then
+            QCheck2.Test.fail_reportf "grid %d: domains artifact differs from inline" g;
+          if ci <> cd then
+            QCheck2.Test.fail_reportf "grid %d: domains counter totals differ from inline" g;
+          match fork_sides with
+          | None -> ()
+          | Some fs ->
+              let af, cf = List.nth fs g in
+              if ai <> af then
+                QCheck2.Test.fail_reportf "grid %d: fork artifact differs from inline" g;
+              if ci <> cf then
+                QCheck2.Test.fail_reportf "grid %d: fork counter totals differ from inline" g)
+        (List.combine inline_sides domains_sides);
+      true)
+
+(* --- Backend parsing --- *)
+
+let test_backend_of_string () =
+  List.iter
+    (fun b ->
+      match Backend.of_string (Backend.to_string b) with
+      | Ok b' -> Alcotest.(check bool) "round-trips" true (b = b')
+      | Error e -> Alcotest.fail e)
+    Backend.all;
+  match Backend.of_string "threads" with
+  | Ok _ -> Alcotest.fail "accepted junk"
+  | Error msg ->
+      Alcotest.(check bool) "error names the choices" true (contains msg "inline|fork|domains")
+
+let () =
+  let props = List.map QCheck_alcotest.to_alcotest [ prop_backend_equivalence ] in
+  Alcotest.run "flowsched_domains"
+    [
+      (* Must run first: the fork leg of the equivalence property is illegal
+         once any other test has spawned a domain (see comment above). *)
+      ("properties", props);
+      ( "deque",
+        [
+          Alcotest.test_case "owner LIFO" `Quick test_deque_lifo_owner;
+          Alcotest.test_case "steal FIFO" `Quick test_deque_steal_fifo;
+          Alcotest.test_case "growth" `Quick test_deque_growth;
+          Alcotest.test_case "concurrent steal" `Quick test_deque_concurrent_steal;
+        ] );
+      ("deadline", [ Alcotest.test_case "expires" `Quick test_deadline_expires ]);
+      ( "executor",
+        [
+          Alcotest.test_case "matches inline" `Quick test_executor_matches_inline;
+          Alcotest.test_case "Random reseeded per job" `Quick
+            test_executor_random_reseeded_per_job;
+          Alcotest.test_case "retry then done" `Quick test_executor_retry_then_done;
+          Alcotest.test_case "failed after budget" `Quick test_executor_failed_after_budget;
+          Alcotest.test_case "cooperative timeout" `Quick test_executor_cooperative_timeout;
+          Alcotest.test_case "post-hoc timeout" `Quick test_executor_posthoc_timeout;
+          Alcotest.test_case "on_result once each" `Quick test_executor_on_result_once_each;
+          Alcotest.test_case "metrics absorbed" `Quick test_executor_metrics_absorbed;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "order" `Quick test_parallel_map_order;
+          Alcotest.test_case "exception" `Quick test_parallel_map_exception;
+          Alcotest.test_case "metrics" `Quick test_parallel_map_metrics;
+        ] );
+      ("backend", [ Alcotest.test_case "of_string" `Quick test_backend_of_string ]);
+    ]

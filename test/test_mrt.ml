@@ -106,6 +106,26 @@ let test_rho_search_warm_matches_cold () =
     true
     (warm_pivots < cold_pivots)
 
+let test_rho_search_parallel_probes_match () =
+  (* The k-section search on spawned domains must find exactly the rho of
+     the sequential bisection, for every probe width and with warm starts
+     on or off (the reduction is deterministic by probe index). *)
+  List.iter
+    (fun seed ->
+      let inst = tiny_instance seed ~m:4 ~n:20 ~maxrel:4 in
+      let reference = Mrt_scheduler.min_fractional_rho ~probes:1 inst in
+      List.iter
+        (fun probes ->
+          List.iter
+            (fun warm_start ->
+              Alcotest.(check int)
+                (Printf.sprintf "probes=%d warm=%b (seed %d)" probes warm_start seed)
+                reference
+                (Mrt_scheduler.min_fractional_rho ~warm_start ~probes inst))
+            [ true; false ])
+        [ 2; 3; 4 ])
+    [ 72; 73; 74 ]
+
 let prop_declared_ub_matches_explicit_rows =
   (* The declared-bound formulation (x_{e,t} <= 1 enforced by the simplex's
      bounded-variable ratio test) must agree with the explicit-row oracle on
@@ -268,6 +288,8 @@ let () =
           Alcotest.test_case "feasibility + binary search" `Quick test_lp_feasibility_basic;
           Alcotest.test_case "fractional below integral" `Quick test_lp_fractional_below_integral;
           Alcotest.test_case "warm rho search matches cold" `Quick test_rho_search_warm_matches_cold;
+          Alcotest.test_case "parallel probes match sequential" `Quick
+            test_rho_search_parallel_probes_match;
         ] );
       ( "rounding",
         [

@@ -81,6 +81,40 @@ let test_prng_split_decorrelated () =
   Alcotest.(check bool) "split streams decorrelated" true
     (abs (!same - (n / 2)) < n / 8)
 
+let test_prng_per_job_streams_disjoint () =
+  (* The per-job splitting contract (see prng.mli and Pool.seed_for): jobs
+     derive distinct seeds, and distinct seeds must give streams that never
+     coincide.  With domains sharing one address space, silent aliasing of
+     two jobs' generators would be invisible to every other test — so draw
+     10^5 values from two adjacent jobs' generators and check the output
+     sets are disjoint (xoshiro's state is 4x the output width, so even a
+     lagged overlap of the underlying sequences would surface here). *)
+  let base_seed = 42 in
+  let g0 = Prng.create (Flowsched_exec.Pool.seed_for ~base_seed 0) in
+  let g1 = Prng.create (Flowsched_exec.Pool.seed_for ~base_seed 1) in
+  let n = 100_000 in
+  let seen = Hashtbl.create (2 * n) in
+  for _ = 1 to n do
+    Hashtbl.replace seen (Prng.bits64 g0) ()
+  done;
+  let overlaps = ref 0 in
+  for _ = 1 to n do
+    if Hashtbl.mem seen (Prng.bits64 g1) then incr overlaps
+  done;
+  Alcotest.(check int) "10^5-draw streams disjoint" 0 !overlaps;
+  (* Same property for split-derived in-cell streams. *)
+  let a = Prng.create 314 in
+  let b = Prng.split a in
+  Hashtbl.reset seen;
+  for _ = 1 to n do
+    Hashtbl.replace seen (Prng.bits64 a) ()
+  done;
+  overlaps := 0;
+  for _ = 1 to n do
+    if Hashtbl.mem seen (Prng.bits64 b) then incr overlaps
+  done;
+  Alcotest.(check int) "split streams disjoint" 0 !overlaps
+
 (* --- Sampling --- *)
 
 let test_poisson_zero () =
@@ -446,6 +480,8 @@ let () =
           Alcotest.test_case "float mean" `Slow test_prng_float_mean;
           Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
           Alcotest.test_case "split decorrelated" `Quick test_prng_split_decorrelated;
+          Alcotest.test_case "per-job streams disjoint" `Quick
+            test_prng_per_job_streams_disjoint;
         ] );
       ( "sampling",
         [
