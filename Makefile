@@ -1,5 +1,5 @@
 .PHONY: build test bench bench-smoke bench-lp serve-smoke obs-smoke chaos-smoke \
-  domains-smoke bench-exec clean
+  domains-smoke bench-exec scenarios-smoke bench-scenarios clean
 
 build:
 	dune build
@@ -155,6 +155,39 @@ bench-exec:
 	  && grep -q '"disagreements": 0' BENCH_exec.json \
 	  && echo "bench-exec: OK (BENCH_exec.json valid, backends agree)" \
 	  || (echo "bench-exec: BAD artifact or backend disagreement" && exit 1)
+
+# Scenario-matrix byte-identity gate: the same policy x workload x mode grid
+# (8 zoo kinds x 3 problem modes x 2 seeds, LP bounds on) through 1 inline
+# worker and 4 shared-memory domains workers must write byte-for-byte
+# identical artifacts — matrix cells deliberately carry no wall-clock or
+# worker-count metadata, so cmp(1) is the whole gate.
+MATRIX_GRID = --kinds poisson,pareto:1.5,lognormal,bursty,diurnal,flash-crowd,bimodal,staircase \
+  --modes flows,endpoint:2:2,coflow:3:4 -m 5 --rates 2.5 --rounds 6 --seeds 1,2 \
+  --max-demand 3 --lp
+
+scenarios-smoke: build
+	@rm -f _matrix_j1.json _matrix_j4.json
+	_build/default/bin/main.exe matrix $(MATRIX_GRID) --jobs 1 --backend inline \
+	  --out _matrix_j1.json
+	_build/default/bin/main.exe matrix $(MATRIX_GRID) --jobs 4 --backend domains \
+	  --out _matrix_j4.json
+	@cmp _matrix_j1.json _matrix_j4.json \
+	  && echo "scenarios-smoke: matrix artifact byte-identical (inline --jobs 1 vs domains --jobs 4)" \
+	  || (echo "scenarios-smoke: matrix artifact diverges across jobs/backends" && exit 1)
+	@grep -q '"schema": "flowsched-matrix/1"' _matrix_j1.json \
+	  && echo "scenarios-smoke: OK (_matrix_j1.json valid)" \
+	  || (echo "scenarios-smoke: BAD artifact" && exit 1)
+	@rm -f _matrix_j1.json _matrix_j4.json
+
+# Scenarios bench: the same matrix grid on the inline, fork and domains
+# backends; any byte-level artifact disagreement exits non-zero.  Writes the
+# schema-checked BENCH_scenarios.json for the CI artifact upload.
+bench-scenarios:
+	dune exec bench/main.exe -- scenarios --json --jobs 4
+	@grep -q '"schema": "flowsched-bench-scenarios/1"' BENCH_scenarios.json \
+	  && grep -q '"disagreements": 0' BENCH_scenarios.json \
+	  && echo "bench-scenarios: OK (BENCH_scenarios.json valid, backends agree)" \
+	  || (echo "bench-scenarios: BAD artifact or backend disagreement" && exit 1)
 
 clean:
 	dune clean

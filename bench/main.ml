@@ -21,6 +21,9 @@
      dune exec bench/main.exe -- exec [--json]  # fork vs domains vs inline over
                                               # a sweep grid + parallel-rho
                                               # micro (writes BENCH_exec.json)
+     dune exec bench/main.exe -- scenarios [--json]  # zoo x mode matrix across
+                                              # backends, byte-agreement gate
+                                              # (writes BENCH_scenarios.json)
 
    All modes but micro accept `--jobs N` (N a positive count or `auto` for
    the detected core count; default auto) and fan their mutually
@@ -1221,6 +1224,126 @@ let exec_bench ?(json = false) ~jobs () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Scenario matrix bench                                               *)
+(* ------------------------------------------------------------------ *)
+
+let scenarios_bench ?(json = false) ~jobs () =
+  section "Scenario matrix — zoo workloads x problem modes across backends";
+  Printf.printf
+    "The matrix grid (workload zoo x flows/endpoint/coflow modes, LP bounds\n\
+     on) runs through all three executors; the artifact carries no timing\n\
+     metadata, so the three JSON strings must be byte-identical — backends\n\
+     may only differ in speed, never in results.\n\n%!";
+  let module Scenario = Flowsched_scenarios.Scenario in
+  let module Matrix = Flowsched_scenarios.Matrix in
+  let kinds =
+    [
+      "poisson"; "pareto:1.5"; "lognormal:0.5:0.75"; "bursty:4:10:0.3";
+      "diurnal:20:0.8"; "flash-crowd:4:4:4:0.5"; "bimodal:2:0.8"; "staircase";
+    ]
+  in
+  let modes = [ "flows"; "endpoint:2:2"; "coflow:4:4" ] in
+  let parse_exn ~what = function
+    | Ok v -> v
+    | Error msg -> failwith (Printf.sprintf "bench %s: %s" what msg)
+  in
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun mode ->
+            List.map
+              (fun seed ->
+                {
+                  Matrix.scenario =
+                    {
+                      Scenario.kind = parse_exn ~what:"kind" (Scenario.of_string kind);
+                      m = 5;
+                      rate = 2.5;
+                      rounds = 8;
+                      max_demand = 3;
+                      seed;
+                    };
+                  mode = parse_exn ~what:"mode" (Matrix.mode_of_string mode);
+                  lp = true;
+                })
+              [ 1; 2 ])
+          modes)
+      kinds
+  in
+  let ncells = List.length cells in
+  let policies = Heuristics.all_paper_heuristics in
+  let disagreements = ref 0 in
+  let run_backend backend =
+    let t0 = Unix.gettimeofday () in
+    let results = Matrix.run ~policies ~backend ~jobs cells in
+    let wall = elapsed t0 in
+    (backend, wall, Json.to_string (Matrix.to_json results))
+  in
+  let sides = List.map run_backend [ Backend.Inline; Backend.Fork; Backend.Domains ] in
+  let reference = match sides with (_, _, a) :: _ -> a | [] -> assert false in
+  let t =
+    Table.create
+      [
+        ("backend", Table.Left);
+        ("cells", Table.Right);
+        ("jobs", Table.Right);
+        ("wall s", Table.Right);
+        ("cells/s", Table.Right);
+        ("artifact agree", Table.Right);
+      ]
+  in
+  let backend_rows =
+    List.map
+      (fun (backend, wall, artifact) ->
+        let agree = artifact = reference in
+        if not agree then incr disagreements;
+        Table.add_row t
+          [
+            Backend.to_string backend;
+            string_of_int ncells;
+            string_of_int (match backend with Backend.Inline -> 1 | _ -> jobs);
+            Table.cell_float ~decimals:3 wall;
+            Table.cell_float ~decimals:1 (float_of_int ncells /. wall);
+            string_of_bool agree;
+          ];
+        Json.Obj
+          [
+            ("backend", Json.Str (Backend.to_string backend));
+            ("wall_s", Json.float wall);
+            ("cells_per_sec", Json.float (float_of_int ncells /. wall));
+            ("artifact_agree", Json.Bool agree);
+          ])
+      sides
+  in
+  Table.print t;
+  if json then begin
+    let artifact =
+      Json.Obj
+        [
+          ("schema", Json.Str "flowsched-bench-scenarios/1");
+          ("jobs", Json.Int jobs);
+          ("matrix_cells", Json.Int ncells);
+          ("kinds", Json.Arr (List.map (fun k -> Json.Str k) kinds));
+          ("modes", Json.Arr (List.map (fun m -> Json.Str m) modes));
+          ("backends", Json.Arr backend_rows);
+          ("disagreements", Json.Int !disagreements);
+        ]
+    in
+    let path = "BENCH_scenarios.json" in
+    let oc = open_out path in
+    output_string oc (Json.to_string artifact);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
+  if !disagreements > 0 then begin
+    Printf.eprintf "FAIL: %d backend disagreement(s) on the matrix artifact\n%!"
+      !disagreements;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1378,9 +1501,10 @@ let () =
         fill c.Simplex.eta_nnz c.Simplex.bound_flips cold_s warm_s agree
   | "serve" :: rest -> serve_bench ~json:(List.mem "--json" rest) ()
   | "exec" :: rest -> exec_bench ~json:(List.mem "--json" rest) ~jobs ()
+  | "scenarios" :: rest -> scenarios_bench ~json:(List.mem "--json" rest) ~jobs ()
   | other :: _ ->
       Printf.eprintf
-        "unknown bench mode %S (try figures|ablations|adversarial|micro|lp|serve|exec)\n"
+        "unknown bench mode %S (try figures|ablations|adversarial|micro|lp|serve|exec|scenarios)\n"
         other;
       exit 2);
   section "Metrics registry";

@@ -130,23 +130,21 @@ let print_timeline inst schedule caps_note =
 (* ----- generate ----- *)
 
 let generate kind m rate rounds n max_release max_demand seed =
+  let module Scenario = Flowsched_scenarios.Scenario in
   let inst =
     match kind with
-    | "poisson" -> Flowsched_sim.Workload.poisson ~m ~rate ~rounds ~seed
-    | "poisson-demands" ->
-        Flowsched_sim.Workload.poisson_with_demands ~m ~rate ~rounds ~max_demand ~seed
+    (* generate's "uniform" predates the scenario namespace and keeps its
+       --n/--max-release knobs rather than the rate * rounds volume. *)
     | "uniform" -> Flowsched_sim.Workload.uniform_total ~m ~n ~max_release ~seed
-    | "skewed" -> Flowsched_sim.Workload.skewed ~m ~rate ~rounds ~seed ()
-    | "hotspot" -> Flowsched_sim.Workload.hotspot ~m ~rate ~rounds ~seed ()
     | "slack1" -> Open_problem.generate ~seed ~m ~rounds ()
     | "fig4a" -> Lower_bounds.fig4a_static ~t:(rounds / 2) ~total_rounds:rounds
     | "fig4b" -> Lower_bounds.fig4b_static ()
-    | other ->
-        Printf.eprintf
-          "error: unknown workload %S \
-           (poisson|poisson-demands|uniform|skewed|hotspot|slack1|fig4a|fig4b)\n"
-          other;
-        exit 1
+    | other -> (
+        match Scenario.of_string other with
+        | Ok k -> Scenario.instance { Scenario.kind = k; m; rate; rounds; max_demand; seed }
+        | Error msg ->
+            Printf.eprintf "error: %s (also: slack1|fig4a|fig4b)\n" msg;
+            exit 1)
   in
   print_string (Instance.to_string inst)
 
@@ -156,8 +154,10 @@ let generate_cmd =
       value & pos 0 string "poisson"
       & info [] ~docv:"KIND"
           ~doc:
-            "poisson | poisson-demands | uniform | skewed | hotspot | slack1 | fig4a | \
-             fig4b")
+            "Any scenario kind — poisson | poisson-demands | uniform | skewed | hotspot | \
+             pareto | lognormal | bursty | diurnal | flash-crowd | bimodal | staircase | \
+             crossflow, with optional :parameters (e.g. pareto:1.2) — or one of the \
+             specials slack1 | fig4a | fig4b.")
   in
   let m = Arg.(value & opt int 8 & info [ "m" ] ~doc:"Ports per side.") in
   let rate = Arg.(value & opt float 4.0 & info [ "rate" ] ~doc:"Poisson arrival rate (M).") in
@@ -338,24 +338,35 @@ let serve inst_path core_name seed jobs workload m rate slots max_demand alpha f
           Some inst.Instance.cap_in,
           Some inst.Instance.cap_out )
     | None ->
-        let kind =
+        let module Scenario = Flowsched_scenarios.Scenario in
+        let name =
+          (* Workload names parse centrally (Scenario.of_string); bare
+             legacy names keep their historical meaning — "uniform" was
+             serve's name for the Poisson stream, and the bare kinds pick
+             their parameter up from the dedicated flag. *)
           match String.lowercase_ascii workload with
-          | "uniform" | "poisson" -> Flowsched_sim.Workload.Uniform
-          | "demands" -> Flowsched_sim.Workload.Uniform_demands max_demand
-          | "skewed" -> Flowsched_sim.Workload.Skewed alpha
-          | "hotspot" -> Flowsched_sim.Workload.Hotspot fraction
-          | other ->
-              Printf.eprintf "error: unknown workload %S (uniform|demands|skewed|hotspot)\n"
-                other;
+          | "uniform" -> "poisson"
+          | "skewed" -> Printf.sprintf "skewed:%g" alpha
+          | "hotspot" -> Printf.sprintf "hotspot:%g" fraction
+          | other -> other
+        in
+        let kind =
+          match Scenario.of_string name with
+          | Ok k -> k
+          | Error msg ->
+              Printf.eprintf "error: %s\n" msg;
               exit 1
         in
-        let stream = Flowsched_sim.Workload.stream kind ~m ~rate ~seed in
-        let caps =
-          match kind with
-          | Flowsched_sim.Workload.Uniform_demands d -> Some (Array.make m d)
-          | _ -> None
+        let spec = { Scenario.kind; m; rate; rounds = slots; max_demand; seed } in
+        let source =
+          try Flowsched_serve.Source.of_scenario spec ~horizon:slots
+          with Invalid_argument msg ->
+            Printf.eprintf "error: %s\n" msg;
+            exit 1
         in
-        (Flowsched_serve.Source.of_stream stream ~horizon:slots, m, m, caps, caps)
+        let m, m' = Scenario.geometry spec in
+        let cap c = match Scenario.port_capacity spec with 1 -> None | d -> Some (Array.make c d) in
+        (source, m, m', cap m, cap m')
   in
   let run_one ~seed ~stop =
     let source, m, m', cap_in, cap_out = make_source ~seed in
@@ -444,7 +455,12 @@ let serve_cmd =
   let workload =
     Arg.(
       value & opt string "uniform"
-      & info [ "workload" ] ~doc:"Generated stream kind: uniform | demands | skewed | hotspot.")
+      & info [ "workload" ]
+          ~doc:
+            "Generated stream kind: any streamable scenario (poisson | demands | skewed | \
+             hotspot | pareto | lognormal | bursty | diurnal | flash-crowd | bimodal | \
+             staircase | crossflow, with optional :parameters); uniform is a legacy alias \
+             for poisson.")
   in
   let m = Arg.(value & opt int 8 & info [ "m" ] ~doc:"Ports per side (stream mode).") in
   let rate =
@@ -574,9 +590,11 @@ let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp backen
   in
   List.iter
     (fun kind ->
-      if not (List.mem kind Flowsched_sim.Experiment.sweep_workloads) then begin
+      if not (Flowsched_sim.Experiment.sweep_kind_known kind) then begin
         Printf.eprintf "error: unknown workload %S (expected %s)\n" kind
-          (String.concat "|" Flowsched_sim.Experiment.sweep_workloads);
+          (String.concat "|"
+             (Flowsched_sim.Experiment.sweep_workloads
+             @ Flowsched_sim.Workload.registered_kind_names ()));
         exit 1
       end)
     kinds;
@@ -756,6 +774,165 @@ let sweep_cmd =
       $ with_lp $ backend_term $ jobs $ timeout $ retries $ chaos $ checkpoint $ resume $ out
       $ trace_term $ metrics_term)
 
+(* ----- matrix ----- *)
+
+let matrix kinds mode_names m rates rounds_list max_demand seeds policy_names with_lp
+    backend jobs timeout retries out trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
+  let module Scenario = Flowsched_scenarios.Scenario in
+  let module Matrix = Flowsched_scenarios.Matrix in
+  let policies = List.map (fun name -> policy_of_name name 1) policy_names in
+  let parse_or_exit parse what s =
+    match parse s with
+    | Ok v -> v
+    | Error msg ->
+        Printf.eprintf "error: %s %s\n" what msg;
+        exit 1
+  in
+  let kinds = List.map (parse_or_exit Scenario.of_string "") kinds in
+  let modes = List.map (parse_or_exit Matrix.mode_of_string "") mode_names in
+  let cells =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun mode ->
+            List.concat_map
+              (fun rate ->
+                List.concat_map
+                  (fun rounds ->
+                    List.map
+                      (fun seed ->
+                        {
+                          Matrix.scenario =
+                            { Scenario.kind; m; rate; rounds; max_demand; seed };
+                          mode;
+                          lp = with_lp;
+                        })
+                      seeds)
+                  rounds_list)
+              rates)
+          modes)
+      kinds
+  in
+  if cells = [] then begin
+    Printf.eprintf "error: empty matrix grid (check --kinds/--modes/--rates/--seeds)\n";
+    exit 1
+  end;
+  let jobs = match jobs with Some j -> j | None -> Flowsched_exec.Pool.default_jobs () in
+  Printf.eprintf "matrix: %d cells x %d policies, %d workers (%s)\n%!" (List.length cells)
+    (List.length policies) jobs
+    (Flowsched_domains.Backend.to_string backend);
+  let t0 = Unix.gettimeofday () in
+  let progress msg = Printf.eprintf "  %s\n%!" msg in
+  let results =
+    try
+      Flowsched_obs.Trace.with_span "matrix.run" (fun () ->
+          Matrix.run ~policies ~progress ~backend ~jobs ?timeout ?retries cells)
+    with Flowsched_exec.Pool.Interrupted ->
+      Printf.eprintf "interrupted: pool drained and workers reaped\n";
+      finish_obs ~trace ~metrics ();
+      exit 130
+  in
+  (* No jobs/timing metadata in the artifact: the bytes are the grid's
+     deterministic content alone, so --jobs 1 vs --jobs N and every backend
+     produce identical files (the scenarios-smoke target diffs them). *)
+  let data = Flowsched_util.Json.to_string (Matrix.to_json results) ^ "\n" in
+  (match out with
+  | "-" -> print_string data
+  | path ->
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data);
+      Printf.eprintf "wrote %s (%d cells, %.1fs)\n%!" path (List.length cells)
+        (Unix.gettimeofday () -. t0))
+
+let matrix_cmd =
+  let list_of kind = Arg.list kind in
+  let kinds =
+    Arg.(
+      value
+      & opt (list_of string)
+          [ "poisson"; "pareto"; "lognormal"; "bursty"; "diurnal"; "flash-crowd"; "bimodal" ]
+      & info [ "kinds" ] ~docv:"KINDS"
+          ~doc:
+            "Comma-separated scenario kinds, any of poisson | poisson-demands | uniform | \
+             skewed | hotspot | pareto | lognormal | bursty | diurnal | flash-crowd | \
+             bimodal | staircase | crossflow, with optional :parameters (e.g. pareto:1.2).")
+  in
+  let modes =
+    Arg.(
+      value
+      & opt (list_of string) [ "flows"; "endpoint"; "coflow" ]
+      & info [ "modes" ] ~docv:"MODES"
+          ~doc:
+            "Comma-separated problem modes: flows (the paper's problem), \
+             endpoint[:nodes[:cap]] (per-node capacities), coflow[:groups[:max_weight]] \
+             (weighted coflow completion).")
+  in
+  let m = Arg.(value & opt int 6 & info [ "m" ] ~doc:"Ports per side.") in
+  let rates =
+    Arg.(
+      value & opt (list_of float) [ 3.0 ]
+      & info [ "rates" ] ~docv:"RATES" ~doc:"Comma-separated arrival rates (the paper's M).")
+  in
+  let rounds_list =
+    Arg.(
+      value & opt (list_of int) [ 8 ]
+      & info [ "rounds" ] ~docv:"ROUNDS" ~doc:"Comma-separated generation lengths (T).")
+  in
+  let max_demand =
+    Arg.(value & opt int 3 & info [ "max-demand" ] ~doc:"Demand bound (demand-carrying kinds).")
+  in
+  let seeds =
+    Arg.(
+      value & opt (list_of int) [ 1 ]
+      & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Comma-separated PRNG seeds, one cell each.")
+  in
+  let policy_names =
+    Arg.(
+      value
+      & opt (list_of string) [ "maxcard"; "minrtime"; "maxweight"; "fifo" ]
+      & info [ "policies" ] ~docv:"POLICIES"
+          ~doc:
+            "Comma-separated policies for the flows/endpoint modes \
+             (maxcard|minrtime|maxweight|fifo|random); coflow mode runs its own \
+             wsebf/sebf/flow-fifo set.")
+  in
+  let with_lp =
+    Arg.(value & flag & info [ "lp" ] ~doc:"Also compute the LP lower bounds per cell (slow).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some jobs_conv) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:"Workers for the cell grid: a positive count or $(b,auto) (the default).")
+  in
+  let timeout =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS" ~doc:"Per-cell attempt timeout in seconds.")
+  in
+  let retries =
+    Arg.(
+      value & opt (some int) None
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry budget per cell beyond the first attempt (default 1).")
+  in
+  let out =
+    Arg.(
+      value & opt string "matrix.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output JSON artifact path ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Run a policy x workload x mode grid over the scenario zoo (including the \
+          endpoint-capacity and weighted-coflow problem variants) and write a \
+          machine-readable JSON artifact, byte-identical across --jobs and backends.")
+    Term.(
+      const matrix $ kinds $ modes $ m $ rates $ rounds_list $ max_demand $ seeds
+      $ policy_names $ with_lp $ backend_term $ jobs $ timeout $ retries $ out $ trace_term
+      $ metrics_term)
+
 (* ----- check-trace ----- *)
 
 let check_trace path =
@@ -891,6 +1068,7 @@ let () =
         exact_cmd;
         figures_cmd;
         sweep_cmd;
+        matrix_cmd;
         check_trace_cmd;
         rtt_cmd;
         open_problem_cmd;

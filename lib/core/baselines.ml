@@ -45,6 +45,39 @@ let pack_in_order inst order pending =
 
 let fifo inst = run_rounds inst (pack_in_order inst Flow.compare)
 
+(* Endpoint-capacity-aware packing: the port residuals of [pack_in_order]
+   plus per-node residuals on both sides, so the schedule respects the
+   coarser node capacities of the Pa-Rajaraman-Stalfa model as well. *)
+let pack_under_endpoint inst (ep : Endpoint.t) order pending =
+  let sorted = List.sort order pending in
+  let res_in = Array.copy inst.Instance.cap_in in
+  let res_out = Array.copy inst.Instance.cap_out in
+  let node_in = Array.copy ep.Endpoint.cap_node_in in
+  let node_out = Array.copy ep.Endpoint.cap_node_out in
+  List.filter
+    (fun (f : Flow.t) ->
+      let ni = ep.Endpoint.node_in.(f.Flow.src) in
+      let no = ep.Endpoint.node_out.(f.Flow.dst) in
+      if
+        res_in.(f.Flow.src) >= f.Flow.demand
+        && res_out.(f.Flow.dst) >= f.Flow.demand
+        && node_in.(ni) >= f.Flow.demand
+        && node_out.(no) >= f.Flow.demand
+      then begin
+        res_in.(f.Flow.src) <- res_in.(f.Flow.src) - f.Flow.demand;
+        res_out.(f.Flow.dst) <- res_out.(f.Flow.dst) - f.Flow.demand;
+        node_in.(ni) <- node_in.(ni) - f.Flow.demand;
+        node_out.(no) <- node_out.(no) - f.Flow.demand;
+        true
+      end
+      else false)
+    sorted
+
+let fifo_endpoint ep inst =
+  if not (Endpoint.admits ep inst) then
+    invalid_arg "Baselines.fifo_endpoint: a flow exceeds its node capacity";
+  run_rounds inst (pack_under_endpoint inst ep Flow.compare)
+
 let srpt_order inst =
   let order (a : Flow.t) (b : Flow.t) =
     match compare a.Flow.demand b.Flow.demand with 0 -> Flow.compare a b | c -> c

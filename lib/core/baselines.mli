@@ -17,3 +17,15 @@ val greedy_maxcard : Flowsched_switch.Instance.t -> Flowsched_switch.Schedule.t
 val srpt_order : Flowsched_switch.Instance.t -> Flowsched_switch.Schedule.t
 (** FIFO packing but ordering pending flows by demand first (smallest
     demand first, ties by release) — the SPT/SRPT-flavoured baseline. *)
+
+val fifo_endpoint :
+  Flowsched_switch.Endpoint.t ->
+  Flowsched_switch.Instance.t ->
+  Flowsched_switch.Schedule.t
+(** {!fifo} under endpoint (node) capacity constraints: a flow is admitted
+    to a round only when its two ports {e and} its two nodes all have
+    residual capacity.  Always valid for the port capacities and
+    node-feasible in every round
+    ({!Flowsched_switch.Endpoint.schedule_feasible}).  Raises
+    [Invalid_argument] when some flow alone exceeds its node capacity
+    (no schedule could exist). *)

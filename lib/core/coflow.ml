@@ -1,8 +1,13 @@
 open Flowsched_switch
 
-type t = { instance : Instance.t; group_of : int array; groups : int }
+type t = {
+  instance : Instance.t;
+  group_of : int array;
+  groups : int;
+  weights : int array;
+}
 
-let make instance ~group_of =
+let make ?weights instance ~group_of =
   let n = Instance.n instance in
   if Array.length group_of <> n then
     invalid_arg "Coflow.make: one group per flow required";
@@ -16,7 +21,18 @@ let make instance ~group_of =
     group_of;
   if n > 0 && not (Array.for_all (fun u -> u) (Array.sub used 0 groups)) then
     invalid_arg "Coflow.make: group ids must be dense";
-  { instance; group_of = Array.copy group_of; groups }
+  let weights =
+    match weights with
+    | None -> Array.make groups 1
+    | Some w ->
+        if Array.length w <> groups then
+          invalid_arg "Coflow.make: one weight per co-flow required";
+        Array.iter (fun x -> if x < 1 then invalid_arg "Coflow.make: weights must be >= 1") w;
+        Array.copy w
+  in
+  { instance; group_of = Array.copy group_of; groups; weights }
+
+let with_weights t weights = make ~weights t.instance ~group_of:t.group_of
 
 let random_grouping ~seed ~groups instance =
   let n = Instance.n instance in
@@ -84,6 +100,37 @@ let average_response t schedule =
 
 let max_response t schedule = Array.fold_left max 0 (response_times t schedule)
 
+let total_weight t = Array.fold_left ( + ) 0 t.weights
+
+let weighted_average_response t schedule =
+  if t.groups = 0 then nan
+  else
+    let rts = response_times t schedule in
+    let acc = ref 0 in
+    Array.iteri (fun gid r -> acc := !acc + (t.weights.(gid) * r)) rts;
+    float_of_int !acc /. float_of_int (total_weight t)
+
+(* Every co-flow's response is at least its effective bottleneck (it cannot
+   finish faster than its most loaded port drains, even starting the instant
+   it is released), so the weighted mean of bottlenecks lower-bounds the
+   weighted mean response of any schedule — the coflow-mode analogue of the
+   LP bound. *)
+let weighted_bottleneck_bound t =
+  if t.groups = 0 then nan
+  else
+    let acc = ref 0 in
+    for gid = 0 to t.groups - 1 do
+      acc := !acc + (t.weights.(gid) * bottleneck t gid)
+    done;
+    float_of_int !acc /. float_of_int (total_weight t)
+
+let max_bottleneck_bound t =
+  let worst = ref 0 in
+  for gid = 0 to t.groups - 1 do
+    worst := max !worst (bottleneck t gid)
+  done;
+  !worst
+
 (* Priority scheduler shared by SEBF (and any future ordering): pack
    released flows each round, trying flows in co-flow priority order. *)
 let priority_schedule t priority_of_group =
@@ -128,6 +175,23 @@ let sebf t =
   Array.sort compare order;
   let rank = Array.make t.groups 0 in
   Array.iteri (fun pos (_, _, gid) -> rank.(gid) <- pos) order;
+  priority_schedule t (fun gid -> rank.(gid))
+
+(* Weighted SEBF: order by ascending bottleneck-to-weight ratio (heavier
+   co-flows jump the queue in proportion to their weight), compared exactly
+   with cross products so ties are deterministic.  With unit weights the
+   ratio order coincides with SEBF's (bottleneck, release, gid) order. *)
+let wsebf t =
+  let key gid = (bottleneck t gid, t.weights.(gid), release t gid, gid) in
+  let order = Array.init t.groups key in
+  Array.sort
+    (fun (b1, w1, r1, g1) (b2, w2, r2, g2) ->
+      match compare (b1 * w2) (b2 * w1) with
+      | 0 -> compare (b1, r1, g1) (b2, r2, g2)
+      | c -> c)
+    order;
+  let rank = Array.make t.groups 0 in
+  Array.iteri (fun pos (_, _, _, gid) -> rank.(gid) <- pos) order;
   priority_schedule t (fun gid -> rank.(gid))
 
 let flow_fifo t = Baselines.fifo t.instance

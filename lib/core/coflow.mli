@@ -15,11 +15,16 @@ type t = private {
   instance : Flowsched_switch.Instance.t;
   group_of : int array;  (** flow id -> co-flow id, ids dense in [0, groups). *)
   groups : int;
+  weights : int array;  (** per co-flow weight, all [>= 1]; unit by default. *)
 }
 
-val make : Flowsched_switch.Instance.t -> group_of:int array -> t
+val make : ?weights:int array -> Flowsched_switch.Instance.t -> group_of:int array -> t
 (** Raises [Invalid_argument] unless [group_of] assigns every flow a group
-    and group ids are exactly [0..groups-1]. *)
+    and group ids are exactly [0..groups-1]; [weights] (default all ones)
+    must supply one weight [>= 1] per co-flow. *)
+
+val with_weights : t -> int array -> t
+(** The same grouping with new weights (same validation as {!make}). *)
 
 val random_grouping :
   seed:int -> groups:int -> Flowsched_switch.Instance.t -> t
@@ -43,10 +48,31 @@ val response_times : t -> Flowsched_switch.Schedule.t -> int array
 val average_response : t -> Flowsched_switch.Schedule.t -> float
 val max_response : t -> Flowsched_switch.Schedule.t -> int
 
+val total_weight : t -> int
+
+val weighted_average_response : t -> Flowsched_switch.Schedule.t -> float
+(** [sum_j w_j * response_j / sum_j w_j] — the weighted co-flow completion
+    objective of the Im–Purohit line of work, stated in response form. *)
+
+val weighted_bottleneck_bound : t -> float
+(** Lower bound on {!weighted_average_response} for {e any} schedule: each
+    co-flow's response is at least its effective bottleneck, so the
+    weighted mean of bottlenecks bounds the weighted mean response. *)
+
+val max_bottleneck_bound : t -> int
+(** Lower bound on {!max_response} for any schedule: the largest effective
+    bottleneck over co-flows. *)
+
 val sebf : t -> Flowsched_switch.Schedule.t
 (** Smallest-effective-bottleneck-first: co-flows get strict priority by
     (bottleneck, release); each round packs released flows in that priority
     order under the port capacities.  Work-conserving, always valid. *)
+
+val wsebf : t -> Flowsched_switch.Schedule.t
+(** Weighted SEBF: priority by ascending bottleneck-to-weight ratio
+    (compared exactly via cross products), so heavier co-flows are served
+    earlier in proportion to their weight.  With unit weights this is
+    exactly {!sebf}. *)
 
 val flow_fifo : t -> Flowsched_switch.Schedule.t
 (** Group-blind baseline: plain per-flow FIFO packing

@@ -1,0 +1,246 @@
+open Flowsched_switch
+open Flowsched_util
+
+(* Every generator lives twice: as a slot-clocked stream and as a batch
+   instance.  The batch form is DEFINED as the fold of the stream over
+   [rounds] slots, so the stream-prefix property (a T-slot stream prefix
+   equals the batch instance generated with the same parameters) holds by
+   construction rather than by carefully mirrored draw orders. *)
+
+type stream = {
+  next : int -> (int * int * int) list;
+  mutable slot : int;
+}
+
+let stream_of_fn next = { next; slot = 0 }
+let stream_slot s = s.slot
+
+let stream_next s =
+  let arrivals = s.next s.slot in
+  s.slot <- s.slot + 1;
+  arrivals
+
+let batch ?cap_in ?cap_out ~m ~m' ~rounds s =
+  let specs = ref [] in
+  for t = 0 to rounds - 1 do
+    List.iter (fun (src, dst, d) -> specs := (src, dst, d, t) :: !specs) (stream_next s)
+  done;
+  Instance.of_flows ?cap_in ?cap_out ~m ~m' (List.rev !specs)
+
+(* Validation at the zoo boundary: degenerate parameters would silently
+   produce empty, NaN-weighted, or infinite-demand workloads. *)
+let check_pos_int ~who ~what v =
+  if v < 1 then invalid_arg (Printf.sprintf "%s: %s must be >= 1" who what)
+
+let check_rate ~who rate =
+  if rate <= 0. || Float.is_nan rate then invalid_arg (who ^ ": rate must be positive")
+
+let check_pos_float ~who ~what v =
+  if v <= 0. || Float.is_nan v then
+    invalid_arg (Printf.sprintf "%s: %s must be positive" who what)
+
+let check_fraction ~who ~what v =
+  if not (v >= 0. && v <= 1.) then
+    invalid_arg (Printf.sprintf "%s: %s must be within [0, 1]" who what)
+
+(* Poisson arrivals at a per-slot mean decided by [rate_at slot]; endpoints
+   and demands decided by [draw].  The draw order inside one flow is demand,
+   then dst, then src — same convention as {!Flowsched_sim.Workload}. *)
+let poisson_stream g ~rate_at ~draw =
+  stream_of_fn (fun slot ->
+      let mean = rate_at slot in
+      let k = if mean <= 0. then 0 else Sampling.poisson g mean in
+      let arrivals = ref [] in
+      for _ = 1 to k do
+        arrivals := draw g :: !arrivals
+      done;
+      List.rev !arrivals)
+
+let draw_uniform_ports ~m ~demand_of g =
+  let demand = demand_of g in
+  let dst = Prng.int g m in
+  let src = Prng.int g m in
+  (src, dst, demand)
+
+let demand_caps ~m max_demand =
+  (Array.make m max_demand, Array.make m max_demand)
+
+(* ---- Heavy-tailed demands ---- *)
+
+let pareto_demand ~alpha ~max_demand g =
+  (* Pareto(alpha) with x_min = 1: X = (1 - u)^(-1/alpha), capped. *)
+  let u = Prng.float g in
+  let x = (1. -. u) ** (-1. /. alpha) in
+  if Float.is_nan x then max_demand else max 1 (min max_demand (int_of_float (Float.ceil x)))
+
+let check_pareto ~who ~rate ~alpha ~max_demand ~m =
+  check_pos_int ~who ~what:"m" m;
+  check_rate ~who rate;
+  check_pos_float ~who ~what:"alpha" alpha;
+  check_pos_int ~who ~what:"max_demand" max_demand
+
+let pareto_stream ~m ~rate ~alpha ~max_demand ~seed =
+  check_pareto ~who:"Zoo.pareto" ~rate ~alpha ~max_demand ~m;
+  let g = Prng.create seed in
+  poisson_stream g ~rate_at:(fun _ -> rate)
+    ~draw:(draw_uniform_ports ~m ~demand_of:(pareto_demand ~alpha ~max_demand))
+
+let pareto ~m ~rate ~alpha ~max_demand ~rounds ~seed =
+  check_pos_int ~who:"Zoo.pareto" ~what:"rounds" rounds;
+  let cap_in, cap_out = demand_caps ~m max_demand in
+  batch ~cap_in ~cap_out ~m ~m':m ~rounds
+    (pareto_stream ~m ~rate ~alpha ~max_demand ~seed)
+
+let lognormal_demand ~mu ~sigma ~max_demand g =
+  (* Box–Muller (cosine branch); u1 shifted into (0, 1] so log is finite. *)
+  let u1 = 1. -. Prng.float g in
+  let u2 = Prng.float g in
+  let z = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  let x = exp (mu +. (sigma *. z)) in
+  if Float.is_nan x then 1 else max 1 (min max_demand (int_of_float (Float.round x)))
+
+let check_lognormal ~who ~rate ~sigma ~max_demand ~m =
+  check_pos_int ~who ~what:"m" m;
+  check_rate ~who rate;
+  check_pos_float ~who ~what:"sigma" sigma;
+  check_pos_int ~who ~what:"max_demand" max_demand
+
+let lognormal_stream ~m ~rate ~mu ~sigma ~max_demand ~seed =
+  check_lognormal ~who:"Zoo.lognormal" ~rate ~sigma ~max_demand ~m;
+  let g = Prng.create seed in
+  poisson_stream g ~rate_at:(fun _ -> rate)
+    ~draw:(draw_uniform_ports ~m ~demand_of:(lognormal_demand ~mu ~sigma ~max_demand))
+
+let lognormal ~m ~rate ~mu ~sigma ~max_demand ~rounds ~seed =
+  check_pos_int ~who:"Zoo.lognormal" ~what:"rounds" rounds;
+  let cap_in, cap_out = demand_caps ~m max_demand in
+  batch ~cap_in ~cap_out ~m ~m':m ~rounds
+    (lognormal_stream ~m ~rate ~mu ~sigma ~max_demand ~seed)
+
+(* ---- Modulated arrival processes (unit demands) ---- *)
+
+let unit_demand _g = 1
+
+let check_bursty ~who ~rate ~burst ~period ~duty ~m =
+  check_pos_int ~who ~what:"m" m;
+  check_rate ~who rate;
+  check_pos_float ~who ~what:"burst" burst;
+  check_pos_int ~who ~what:"period" period;
+  check_fraction ~who ~what:"duty" duty
+
+let bursty_rate ~rate ~burst ~period ~duty slot =
+  (* Deterministic duty cycle: the first [duty] share of each period runs
+     hot at [rate * burst]; the rest idles at the base rate. *)
+  let on_slots = int_of_float (Float.ceil (duty *. float_of_int period)) in
+  if slot mod period < on_slots then rate *. burst else rate
+
+let bursty_stream ~m ~rate ~burst ~period ~duty ~seed =
+  check_bursty ~who:"Zoo.bursty" ~rate ~burst ~period ~duty ~m;
+  let g = Prng.create seed in
+  poisson_stream g
+    ~rate_at:(bursty_rate ~rate ~burst ~period ~duty)
+    ~draw:(draw_uniform_ports ~m ~demand_of:unit_demand)
+
+let bursty ~m ~rate ~burst ~period ~duty ~rounds ~seed =
+  check_pos_int ~who:"Zoo.bursty" ~what:"rounds" rounds;
+  batch ~m ~m':m ~rounds (bursty_stream ~m ~rate ~burst ~period ~duty ~seed)
+
+let check_diurnal ~who ~rate ~period ~amplitude ~m =
+  check_pos_int ~who ~what:"m" m;
+  check_rate ~who rate;
+  check_pos_int ~who ~what:"period" period;
+  check_fraction ~who ~what:"amplitude" amplitude
+
+let diurnal_rate ~rate ~period ~amplitude slot =
+  rate
+  *. (1.
+     +. (amplitude
+        *. sin (2. *. Float.pi *. float_of_int slot /. float_of_int period)))
+
+let diurnal_stream ~m ~rate ~period ~amplitude ~seed =
+  check_diurnal ~who:"Zoo.diurnal" ~rate ~period ~amplitude ~m;
+  let g = Prng.create seed in
+  poisson_stream g
+    ~rate_at:(diurnal_rate ~rate ~period ~amplitude)
+    ~draw:(draw_uniform_ports ~m ~demand_of:unit_demand)
+
+let diurnal ~m ~rate ~period ~amplitude ~rounds ~seed =
+  check_pos_int ~who:"Zoo.diurnal" ~what:"rounds" rounds;
+  batch ~m ~m':m ~rounds (diurnal_stream ~m ~rate ~period ~amplitude ~seed)
+
+(* ---- Flash crowd: a spike window with an incast hotspot ---- *)
+
+let check_flash ~who ~rate ~at ~len ~mult ~fraction ~m =
+  check_pos_int ~who ~what:"m" m;
+  check_rate ~who rate;
+  if at < 0 then invalid_arg (who ^ ": at must be >= 0");
+  check_pos_int ~who ~what:"len" len;
+  check_pos_float ~who ~what:"mult" mult;
+  check_fraction ~who ~what:"fraction" fraction
+
+let flash_crowd_stream ~m ~rate ~at ~len ~mult ~fraction ~seed =
+  check_flash ~who:"Zoo.flash_crowd" ~rate ~at ~len ~mult ~fraction ~m;
+  let g = Prng.create seed in
+  let in_spike slot = slot >= at && slot < at + len in
+  stream_of_fn (fun slot ->
+      let mean = if in_spike slot then rate *. mult else rate in
+      let k = Sampling.poisson g mean in
+      let arrivals = ref [] in
+      for _ = 1 to k do
+        (* During the spike a [fraction] of flows pile onto output 0; the
+           dst decision draws before src, like the hotspot generator. *)
+        let dst =
+          if in_spike slot && Prng.float g < fraction then 0 else Prng.int g m
+        in
+        let src = Prng.int g m in
+        arrivals := (src, dst, 1) :: !arrivals
+      done;
+      List.rev !arrivals)
+
+let flash_crowd ~m ~rate ~at ~len ~mult ~fraction ~rounds ~seed =
+  check_pos_int ~who:"Zoo.flash_crowd" ~what:"rounds" rounds;
+  batch ~m ~m':m ~rounds (flash_crowd_stream ~m ~rate ~at ~len ~mult ~fraction ~seed)
+
+(* ---- Bimodal port popularity: beyond Zipf ---- *)
+
+let check_bimodal ~who ~rate ~hot ~weight ~m =
+  check_pos_int ~who ~what:"m" m;
+  check_rate ~who rate;
+  if hot < 1 || hot > m then invalid_arg (who ^ ": hot must be within [1, m]");
+  check_fraction ~who ~what:"weight" weight
+
+let bimodal_stream ~m ~rate ~hot ~weight ~seed =
+  check_bimodal ~who:"Zoo.bimodal" ~rate ~hot ~weight ~m;
+  let g = Prng.create seed in
+  (* A two-point popularity distribution: mass [weight] spread over the
+     [hot] lowest-numbered ports, the rest uniform over all ports — a
+     sharper skew than any Zipf tail.  dst draws before src, like the
+     skewed generator. *)
+  let pick () = if Prng.float g < weight then Prng.int g hot else Prng.int g m in
+  poisson_stream g ~rate_at:(fun _ -> rate)
+    ~draw:(fun _g ->
+      let dst = pick () in
+      let src = pick () in
+      (src, dst, 1))
+
+let bimodal ~m ~rate ~hot ~weight ~rounds ~seed =
+  check_pos_int ~who:"Zoo.bimodal" ~what:"rounds" rounds;
+  batch ~m ~m':m ~rounds (bimodal_stream ~m ~rate ~hot ~weight ~seed)
+
+(* ---- Adversarial gadgets (deterministic; see Lower_bounds) ---- *)
+
+let staircase_stream ~m ~t ~total_rounds =
+  if m < 2 then invalid_arg "Zoo.staircase: m must be >= 2";
+  if t < 1 || t >= total_rounds then
+    invalid_arg "Zoo.staircase: need 1 <= t < total_rounds";
+  stream_of_fn (fun slot ->
+      Flowsched_core.Lower_bounds.fig4a_general_specs ~m ~t ~total_rounds slot)
+
+let staircase ~m ~t ~total_rounds =
+  Flowsched_core.Lower_bounds.fig4a_general ~m ~t ~total_rounds
+
+let crossflow_stream ~m =
+  if m < 3 then invalid_arg "Zoo.crossflow: m must be >= 3";
+  stream_of_fn (fun slot -> Flowsched_core.Lower_bounds.fig4b_general_specs ~m slot)
+
+let crossflow ~m = Flowsched_core.Lower_bounds.fig4b_general ~m

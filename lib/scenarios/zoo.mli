@@ -1,0 +1,125 @@
+(** The workload zoo: seeded deterministic generators beyond the paper's
+    uniform Poisson traffic.
+
+    Every generator exists in two forms — a slot-clocked {!stream} (what the
+    serve loop consumes) and a batch {!Flowsched_switch.Instance.t}.  The
+    batch form is {e defined} as the fold of the stream over [rounds] slots,
+    so the PRNG prefix property holds by construction: for any seed and any
+    horizon [T], concatenating {!stream_next} over slots [0..T-1] yields
+    exactly the flow specs of the batch instance generated with the same
+    parameters.
+
+    All generators raise [Invalid_argument] on degenerate parameters
+    (nonpositive rate, [alpha <= 0], fractions outside [\[0, 1\]],
+    [max_demand < 1], out-of-range window or popularity parameters) instead
+    of silently producing empty or NaN-weighted draws. *)
+
+type stream
+
+val stream_next : stream -> (int * int * int) list
+(** Arrivals [(src, dst, demand)] released at the stream's current slot, in
+    generation order; advances the stream to the next slot. *)
+
+val stream_slot : stream -> int
+(** Number of slots generated so far. *)
+
+val batch :
+  ?cap_in:int array -> ?cap_out:int array ->
+  m:int -> m':int -> rounds:int -> stream -> Flowsched_switch.Instance.t
+(** Drain a fresh stream for [rounds] slots into an instance (release = the
+    slot each batch was pulled at).  The named generators below all go
+    through this. *)
+
+(** {1 Heavy-tailed demand distributions}
+
+    Poisson arrivals, uniform endpoints, demands drawn from a heavy-tailed
+    distribution capped at [max_demand]; all port capacities are set to
+    [max_demand] so every flow fits (as in
+    {!Flowsched_sim.Workload.poisson_with_demands}). *)
+
+val pareto_stream :
+  m:int -> rate:float -> alpha:float -> max_demand:int -> seed:int -> stream
+(** Demands [min(max_demand, ceil((1-u)^(-1/alpha)))] — Pareto with
+    [x_min = 1]; small [alpha] (e.g. 1.1–1.5) gives the elephant/mice mix
+    measured in datacenter traces. *)
+
+val pareto :
+  m:int -> rate:float -> alpha:float -> max_demand:int -> rounds:int ->
+  seed:int -> Flowsched_switch.Instance.t
+
+val lognormal_stream :
+  m:int -> rate:float -> mu:float -> sigma:float -> max_demand:int ->
+  seed:int -> stream
+(** Demands [round(exp(mu + sigma Z))] with [Z] standard normal (Box–Muller),
+    clamped to [\[1, max_demand\]]. *)
+
+val lognormal :
+  m:int -> rate:float -> mu:float -> sigma:float -> max_demand:int ->
+  rounds:int -> seed:int -> Flowsched_switch.Instance.t
+
+(** {1 Modulated arrival processes}
+
+    Unit demands, uniform endpoints, Poisson arrivals whose mean varies by
+    slot. *)
+
+val bursty_stream :
+  m:int -> rate:float -> burst:float -> period:int -> duty:float ->
+  seed:int -> stream
+(** Deterministic duty cycle: the first [ceil(duty * period)] slots of every
+    period run at [rate * burst], the rest at [rate]. *)
+
+val bursty :
+  m:int -> rate:float -> burst:float -> period:int -> duty:float ->
+  rounds:int -> seed:int -> Flowsched_switch.Instance.t
+
+val diurnal_stream :
+  m:int -> rate:float -> period:int -> amplitude:float -> seed:int -> stream
+(** Sinusoidal modulation [rate * (1 + amplitude sin(2 pi slot / period))];
+    [amplitude] within [\[0, 1\]] keeps the mean nonnegative. *)
+
+val diurnal :
+  m:int -> rate:float -> period:int -> amplitude:float -> rounds:int ->
+  seed:int -> Flowsched_switch.Instance.t
+
+val flash_crowd_stream :
+  m:int -> rate:float -> at:int -> len:int -> mult:float -> fraction:float ->
+  seed:int -> stream
+(** Baseline uniform Poisson traffic; during slots [\[at, at+len)] the rate
+    jumps to [rate * mult] and a [fraction] of flows target output port 0
+    (an incast flash crowd). *)
+
+val flash_crowd :
+  m:int -> rate:float -> at:int -> len:int -> mult:float -> fraction:float ->
+  rounds:int -> seed:int -> Flowsched_switch.Instance.t
+
+(** {1 Skewed port popularity beyond Zipf} *)
+
+val bimodal_stream :
+  m:int -> rate:float -> hot:int -> weight:float -> seed:int -> stream
+(** Two-point popularity: with probability [weight] an endpoint is uniform
+    over the [hot] lowest-numbered ports, otherwise uniform over all [m] —
+    a sharper head/tail split than any Zipf exponent produces.  Requires
+    [1 <= hot <= m]. *)
+
+val bimodal :
+  m:int -> rate:float -> hot:int -> weight:float -> rounds:int -> seed:int ->
+  Flowsched_switch.Instance.t
+
+(** {1 Adversarial gadgets}
+
+    Deterministic (no PRNG) generalizations of the paper's Figure 4
+    lower-bound constructions; see {!Flowsched_core.Lower_bounds}. *)
+
+val staircase_stream : m:int -> t:int -> total_rounds:int -> stream
+(** Streamed {!Flowsched_core.Lower_bounds.fig4a_general}: [t] rounds of the
+    paired diagonal load, then single flows per round until [total_rounds].
+    Requires [m >= 2] and [1 <= t < total_rounds]. *)
+
+val staircase :
+  m:int -> t:int -> total_rounds:int -> Flowsched_switch.Instance.t
+
+val crossflow_stream : m:int -> stream
+(** Streamed {!Flowsched_core.Lower_bounds.fig4b_general} ([m >= 3];
+    note the instance has [m' = 2 (m - 1)] output ports). *)
+
+val crossflow : m:int -> Flowsched_switch.Instance.t

@@ -30,3 +30,14 @@ let of_stream stream ~horizon =
     more = (fun _slot -> Flowsched_sim.Workload.stream_slot stream < horizon);
     pull = (fun _slot -> Flowsched_sim.Workload.stream_next stream);
   }
+
+let of_scenario spec ~horizon =
+  if horizon < 0 then invalid_arg "Source.of_scenario: negative horizon";
+  match Flowsched_scenarios.Scenario.stream spec with
+  | Error msg -> invalid_arg ("Source.of_scenario: " ^ msg)
+  | Ok arrivals ->
+      {
+        more =
+          (fun _slot -> Flowsched_scenarios.Scenario.arrivals_slot arrivals < horizon);
+        pull = (fun _slot -> Flowsched_scenarios.Scenario.arrivals_next arrivals);
+      }

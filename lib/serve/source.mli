@@ -24,5 +24,10 @@ val of_stream : Flowsched_sim.Workload.stream -> horizon:int -> t
     stop.  The stream advances only when the server actually pulls, so
     backpressure pauses the generator rather than dropping arrivals. *)
 
+val of_scenario : Flowsched_scenarios.Scenario.spec -> horizon:int -> t
+(** Same contract over any streamable scenario kind (the workload zoo
+    included); the spec's own [rounds] is ignored in favour of [horizon].
+    Raises [Invalid_argument] for batch-only kinds (["uniform"]). *)
+
 val more : t -> int -> bool
 val pull : t -> int -> (int * int * int) list

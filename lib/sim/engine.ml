@@ -21,8 +21,8 @@ exception Horizon_exceeded of { round : int; pending : int }
 (* The core loop shared by both drivers.  [arrive round pending] returns the
    flows released this round (with globally consistent ids); [more round]
    says whether new arrivals may still appear. *)
-let drive ?(validate = true) ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out ~arrive ~more
-    (policy : Flowsched_online.Policy.t) =
+let drive ?(validate = true) ?endpoint ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out
+    ~arrive ~more (policy : Flowsched_online.Policy.t) =
   Trace.with_span "engine.drive" (fun () ->
   let all_flows = ref [] in
   let assignment = ref [] in
@@ -78,7 +78,14 @@ let drive ?(validate = true) ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out ~ar
       if not (Flowsched_online.Policy.feasible_selection ctx selected) then
         raise
           (Policy_violation
-             (Printf.sprintf "capacity-infeasible selection at round %d" !round))
+             (Printf.sprintf "capacity-infeasible selection at round %d" !round));
+      (match endpoint with
+      | Some ep ->
+          if not (Endpoint.feasible ep (List.map (fun i -> queue.(i)) selected)) then
+            raise
+              (Policy_violation
+                 (Printf.sprintf "node-capacity-infeasible selection at round %d" !round))
+      | None -> ())
     end;
     if selected = [] && queue <> [||] then begin
       incr rounds_idle;
@@ -120,7 +127,7 @@ let drive ?(validate = true) ?(max_rounds = 100_000) ~m ~m' ~cap_in ~cap_out ~ar
   let responses = Array.mapi (fun i r -> r + 1 - flows.(i).Flow.release) slots in
   { flows; schedule; responses; makespan = !makespan; rounds_idle = !rounds_idle })
 
-let run_instance ?validate ?max_rounds (policy : Flowsched_online.Policy.t) inst =
+let run_instance ?validate ?endpoint ?max_rounds (policy : Flowsched_online.Policy.t) inst =
   let by_release = Hashtbl.create 16 in
   Array.iter
     (fun (f : Flow.t) ->
@@ -134,7 +141,7 @@ let run_instance ?validate ?max_rounds (policy : Flowsched_online.Policy.t) inst
     | None -> []
   in
   let more round = round <= last in
-  drive ?validate ?max_rounds ~m:inst.Instance.m ~m':inst.Instance.m'
+  drive ?validate ?endpoint ?max_rounds ~m:inst.Instance.m ~m':inst.Instance.m'
     ~cap_in:inst.Instance.cap_in ~cap_out:inst.Instance.cap_out ~arrive ~more policy
 
 let average_response r =

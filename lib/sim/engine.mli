@@ -30,12 +30,15 @@ exception Horizon_exceeded of { round : int; pending : int }
     got instead of a bare failure. *)
 
 val run_instance :
-  ?validate:bool -> ?max_rounds:int ->
+  ?validate:bool -> ?endpoint:Flowsched_switch.Endpoint.t -> ?max_rounds:int ->
   Flowsched_online.Policy.t -> Flowsched_switch.Instance.t -> result
 (** Replays the instance's flows at their release times and runs until the
     queue drains.  The result's flow array is the instance's.  Raises
     {!Horizon_exceeded} if the queue outlives [max_rounds] (default
-    100000). *)
+    100000).  With [endpoint] (and [validate], the default), every
+    selection is additionally checked against the node capacities and a
+    violation raises {!Policy_violation} — the scenario matrix uses this to
+    certify its capacity-aware policy wrappers. *)
 
 val average_response : result -> float
 val max_response : result -> int

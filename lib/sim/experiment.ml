@@ -100,6 +100,8 @@ let pool_map ?backend ~jobs ?timeout ?(retries = 1) ?faults ?on_result ~describe
            failwith
              (Printf.sprintf "experiment job failed after %d attempts: %s" attempts reason))
 
+let map_cells = pool_map
+
 let describe_cell config =
   Printf.sprintf "cell m=%d rate=%.1f T=%d lp=%b" config.m config.rate config.rounds
     config.with_lp
@@ -155,10 +157,27 @@ let sweep_instance s =
       (* Same expected volume as the arrival processes: rate * rounds flows. *)
       let n = max 1 (int_of_float (s.arrival_rate *. float_of_int s.horizon)) in
       Workload.uniform_total ~m:s.ports ~n ~max_release:s.horizon ~seed:s.sweep_seed
-  | other ->
-      invalid_arg
-        (Printf.sprintf "Experiment.sweep_instance: unknown workload %S (expected %s)" other
-           (String.concat "|" sweep_workloads))
+  | other -> (
+      (* Not a built-in: consult the extensible kind registry (the scenario
+         zoo registers its generators there at init time). *)
+      match Workload.lookup_kind other with
+      | Some generate ->
+          generate
+            {
+              Workload.gen_m = s.ports;
+              gen_rate = s.arrival_rate;
+              gen_rounds = s.horizon;
+              gen_max_demand = s.max_demand;
+              gen_seed = s.sweep_seed;
+            }
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Experiment.sweep_instance: unknown workload %S (expected %s)"
+               other
+               (String.concat "|" (sweep_workloads @ Workload.registered_kind_names ()))))
+
+let sweep_kind_known kind =
+  List.mem kind sweep_workloads || Workload.lookup_kind kind <> None
 
 (* Test seam: when set, the LP section of a sweep cell raises this
    exception instead of solving — the only way to exercise the graceful-

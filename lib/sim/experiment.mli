@@ -97,13 +97,37 @@ type sweep_result = {
 }
 
 val sweep_workloads : string list
-(** Workload kinds accepted by {!sweep_instance}:
-    poisson | poisson-demands | uniform | skewed | hotspot. *)
+(** Built-in workload kinds accepted by {!sweep_instance}:
+    poisson | poisson-demands | uniform | skewed | hotspot.  Kinds
+    registered through {!Workload.register_kinds} (the scenario zoo) are
+    accepted as well. *)
 
 val sweep_instance : sweep_config -> Flowsched_switch.Instance.t
 (** The (deterministic) instance a sweep cell runs on.  Raises
     [Invalid_argument] on an unknown [workload].  ["uniform"] maps the rate
-    to a fixed flow count [rate * horizon] with releases in [0, horizon]. *)
+    to a fixed flow count [rate * horizon] with releases in [0, horizon];
+    non-built-in kinds resolve through the {!Workload} registry. *)
+
+val sweep_kind_known : string -> bool
+(** Whether the kind string is a built-in or resolves through the
+    registry — the CLI's validation hook. *)
+
+val map_cells :
+  ?backend:Flowsched_domains.Backend.t ->
+  jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?faults:Flowsched_exec.Faults.plan ->
+  ?on_result:('a -> 'b -> unit) ->
+  describe:('a -> string) ->
+  progress:(string -> unit) ->
+  f:('a -> 'b) ->
+  'a list -> 'b list
+(** The generic cell fan-out underlying {!run_grid} and {!run_sweep},
+    exposed for other grid drivers (the scenario matrix): runs [f] over the
+    items on the selected backend and returns results in input order, with
+    the same retry/timeout/fault/interrupt contract as {!run_grid}.  A job
+    that keeps failing raises [Failure]. *)
 
 val run_sweep_cell :
   policies:Flowsched_online.Policy.t list -> sweep_config -> sweep_result

@@ -28,15 +28,37 @@ let poisson_specs g ~m ~rate ~rounds ~demand_of =
 
 let unit_demand _g = 1
 
+(* Parameter validation at the generator boundary (shared with the scenario
+   zoo): a nonpositive rate, a nonpositive Zipf alpha, a fraction outside
+   [0,1], or a max_demand < 1 would silently produce degenerate (empty or
+   NaN-weighted) workloads — reject them loudly instead. *)
+let check_rate ~who rate =
+  if rate <= 0. || Float.is_nan rate then
+    invalid_arg (who ^ ": rate must be positive")
+
+let check_alpha ~who alpha =
+  if alpha <= 0. || Float.is_nan alpha then
+    invalid_arg (who ^ ": alpha must be positive")
+
+let check_fraction ~who fraction =
+  if not (fraction >= 0. && fraction <= 1.) then
+    invalid_arg (who ^ ": fraction must be within [0, 1]")
+
+let check_max_demand ~who max_demand =
+  if max_demand < 1 then invalid_arg (who ^ ": max_demand must be >= 1")
+
 let poisson ~m ~rate ~rounds ~seed =
-  if m < 1 || rounds < 1 || rate < 0. then invalid_arg "Workload.poisson";
+  if m < 1 || rounds < 1 then invalid_arg "Workload.poisson";
+  check_rate ~who:"Workload.poisson" rate;
   let g = Prng.create seed in
   Instance.of_flows ~m ~m':m (poisson_specs g ~m ~rate ~rounds ~demand_of:unit_demand)
 
 let bounded_demand max_demand g = 1 + Prng.int g max_demand
 
 let poisson_with_demands ~m ~rate ~rounds ~max_demand ~seed =
-  if max_demand < 1 then invalid_arg "Workload.poisson_with_demands";
+  if m < 1 || rounds < 1 then invalid_arg "Workload.poisson_with_demands";
+  check_rate ~who:"Workload.poisson_with_demands" rate;
+  check_max_demand ~who:"Workload.poisson_with_demands" max_demand;
   let g = Prng.create seed in
   let specs = poisson_specs g ~m ~rate ~rounds ~demand_of:(bounded_demand max_demand) in
   Instance.of_flows
@@ -69,7 +91,9 @@ let draw_skewed sample _g =
   (src, dst, 1)
 
 let skewed ~m ~rate ~rounds ?(alpha = 1.0) ~seed () =
-  if m < 1 || rounds < 1 || rate < 0. then invalid_arg "Workload.skewed";
+  if m < 1 || rounds < 1 then invalid_arg "Workload.skewed";
+  check_rate ~who:"Workload.skewed" rate;
+  check_alpha ~who:"Workload.skewed" alpha;
   let g = Prng.create seed in
   let sample = zipf_sampler g m alpha in
   let specs = ref [] in
@@ -90,8 +114,9 @@ let draw_hotspot ~m ~fraction g =
   (src, dst, 1)
 
 let hotspot ~m ~rate ~rounds ?(fraction = 0.5) ~seed () =
-  if m < 1 || rounds < 1 || rate < 0. || fraction < 0. || fraction > 1. then
-    invalid_arg "Workload.hotspot";
+  if m < 1 || rounds < 1 then invalid_arg "Workload.hotspot";
+  check_rate ~who:"Workload.hotspot" rate;
+  check_fraction ~who:"Workload.hotspot" fraction;
   let g = Prng.create seed in
   let specs = ref [] in
   for t = 0 to rounds - 1 do
@@ -127,19 +152,21 @@ type stream = {
 }
 
 let stream kind ~m ~rate ~seed =
-  if m < 1 || rate < 0. then invalid_arg "Workload.stream";
+  if m < 1 then invalid_arg "Workload.stream";
+  check_rate ~who:"Workload.stream" rate;
   let g = Prng.create seed in
   let draw =
     match kind with
     | Uniform -> draw_uniform ~m ~demand_of:unit_demand
     | Uniform_demands max_demand ->
-        if max_demand < 1 then invalid_arg "Workload.stream: max_demand";
+        check_max_demand ~who:"Workload.stream" max_demand;
         draw_uniform ~m ~demand_of:(bounded_demand max_demand)
     | Skewed alpha ->
+        check_alpha ~who:"Workload.stream" alpha;
         let sample = zipf_sampler g m alpha in
         draw_skewed sample
     | Hotspot fraction ->
-        if fraction < 0. || fraction > 1. then invalid_arg "Workload.stream: fraction";
+        check_fraction ~who:"Workload.stream" fraction;
         draw_hotspot ~m ~fraction
   in
   { g; draw; rate; slot = 0 }
@@ -154,3 +181,27 @@ let stream_next s =
   done;
   s.slot <- s.slot + 1;
   List.rev !arrivals
+
+(* Extensible workload-kind registry.  Higher layers (the scenario zoo)
+   register resolvers at module-initialization time, before any worker
+   process forks or domain spawns, so the registry is effectively immutable
+   while experiments run and identical in every worker — which is what keeps
+   sweep artifacts byte-identical across backends. *)
+
+type gen_params = {
+  gen_m : int;
+  gen_rate : float;
+  gen_rounds : int;
+  gen_max_demand : int;
+  gen_seed : int;
+}
+
+let registry :
+    (string list * (string -> (gen_params -> Instance.t) option)) list ref =
+  ref []
+
+let register_kinds ~names resolve = registry := !registry @ [ (names, resolve) ]
+
+let lookup_kind name = List.find_map (fun (_, resolve) -> resolve name) !registry
+
+let registered_kind_names () = List.concat_map fst !registry

@@ -9,7 +9,12 @@
 val poisson :
   m:int -> rate:float -> rounds:int -> seed:int -> Flowsched_switch.Instance.t
 (** Unit-capacity, unit-demand [m x m] switch; [rate] is the paper's M.
-    The result can have zero flows for tiny [rate * rounds]. *)
+    The result can have zero flows for tiny [rate * rounds].
+
+    All generators here raise [Invalid_argument] on degenerate parameters
+    instead of silently producing empty or NaN-weighted draws: nonpositive
+    [rate], [alpha <= 0], [fraction] outside [\[0, 1\]], or
+    [max_demand < 1]. *)
 
 val poisson_with_demands :
   m:int -> rate:float -> rounds:int -> max_demand:int -> seed:int ->
@@ -72,3 +77,33 @@ val stream_next : stream -> (int * int * int) list
 val stream_slot : stream -> int
 (** Number of slots generated so far (the slot index the next
     [stream_next] call will produce). *)
+
+(** {1 Kind registry}
+
+    Sweep cells name their workload by string; the base kinds are resolved
+    directly by {!Experiment.sweep_instance}, and anything else is looked up
+    here.  Higher layers (the scenario zoo) register a resolver at module
+    initialization — before any worker forks or domain spawns — so new
+    scenario kinds become sweepable by registering in exactly one place and
+    the registry is identical in every worker. *)
+
+type gen_params = {
+  gen_m : int;  (** ports per side *)
+  gen_rate : float;  (** arrival rate (the paper's M) *)
+  gen_rounds : int;  (** generation rounds T *)
+  gen_max_demand : int;  (** demand bound, for kinds with non-unit demands *)
+  gen_seed : int;
+}
+(** The sweep-cell parameters handed to a registered generator. *)
+
+val register_kinds :
+  names:string list -> (string -> (gen_params -> Flowsched_switch.Instance.t) option) -> unit
+(** [register_kinds ~names resolve] appends a resolver.  [resolve kind]
+    returns the generator for a kind string it recognizes (it may parse
+    parameters out of the string, e.g. ["pareto:1.5"]) or [None]; [names]
+    are the canonical kind names, used in listings and error messages. *)
+
+val lookup_kind : string -> (gen_params -> Flowsched_switch.Instance.t) option
+(** First registered resolver that recognizes the kind string. *)
+
+val registered_kind_names : unit -> string list

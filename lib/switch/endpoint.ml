@@ -1,0 +1,93 @@
+type t = {
+  m : int;
+  m' : int;
+  node_in : int array;
+  node_out : int array;
+  nodes_in : int;
+  nodes_out : int;
+  cap_node_in : int array;
+  cap_node_out : int array;
+}
+
+let make ~node_in ~node_out ~cap_node_in ~cap_node_out =
+  let m = Array.length node_in and m' = Array.length node_out in
+  if m = 0 || m' = 0 then invalid_arg "Endpoint.make: need at least one port per side";
+  let nodes_in = Array.length cap_node_in and nodes_out = Array.length cap_node_out in
+  if nodes_in = 0 || nodes_out = 0 then
+    invalid_arg "Endpoint.make: need at least one node per side";
+  Array.iter
+    (fun g -> if g < 0 || g >= nodes_in then invalid_arg "Endpoint.make: node_in out of range")
+    node_in;
+  Array.iter
+    (fun g ->
+      if g < 0 || g >= nodes_out then invalid_arg "Endpoint.make: node_out out of range")
+    node_out;
+  Array.iter
+    (fun c -> if c < 1 then invalid_arg "Endpoint.make: node capacities must be positive")
+    cap_node_in;
+  Array.iter
+    (fun c -> if c < 1 then invalid_arg "Endpoint.make: node capacities must be positive")
+    cap_node_out;
+  {
+    m;
+    m';
+    node_in = Array.copy node_in;
+    node_out = Array.copy node_out;
+    nodes_in;
+    nodes_out;
+    cap_node_in = Array.copy cap_node_in;
+    cap_node_out = Array.copy cap_node_out;
+  }
+
+let blocks ~m ~m' ~nodes ~cap =
+  if nodes < 1 then invalid_arg "Endpoint.blocks: nodes must be >= 1";
+  if cap < 1 then invalid_arg "Endpoint.blocks: cap must be >= 1";
+  if nodes > m || nodes > m' then
+    invalid_arg "Endpoint.blocks: more nodes than ports on a side";
+  (* Balanced contiguous blocks: port p belongs to node p*nodes/m, so block
+     sizes differ by at most one and the map is monotone. *)
+  let node_in = Array.init m (fun p -> p * nodes / m) in
+  let node_out = Array.init m' (fun p -> p * nodes / m') in
+  make ~node_in ~node_out ~cap_node_in:(Array.make nodes cap)
+    ~cap_node_out:(Array.make nodes cap)
+
+let scale ep ~min_cap =
+  {
+    ep with
+    cap_node_in = Array.map (fun c -> max c min_cap) ep.cap_node_in;
+    cap_node_out = Array.map (fun c -> max c min_cap) ep.cap_node_out;
+  }
+
+let feasible ep flows =
+  let load_in = Array.make ep.nodes_in 0 in
+  let load_out = Array.make ep.nodes_out 0 in
+  List.for_all
+    (fun (f : Flow.t) ->
+      if f.Flow.src < 0 || f.Flow.src >= ep.m || f.Flow.dst < 0 || f.Flow.dst >= ep.m' then
+        invalid_arg "Endpoint.feasible: flow ports out of range";
+      let ni = ep.node_in.(f.Flow.src) and no = ep.node_out.(f.Flow.dst) in
+      load_in.(ni) <- load_in.(ni) + f.Flow.demand;
+      load_out.(no) <- load_out.(no) + f.Flow.demand;
+      load_in.(ni) <= ep.cap_node_in.(ni) && load_out.(no) <= ep.cap_node_out.(no))
+    flows
+
+let admits ep (inst : Instance.t) =
+  ep.m = inst.Instance.m && ep.m' = inst.Instance.m'
+  && Array.for_all
+       (fun (f : Flow.t) ->
+         f.Flow.demand <= ep.cap_node_in.(ep.node_in.(f.Flow.src))
+         && f.Flow.demand <= ep.cap_node_out.(ep.node_out.(f.Flow.dst)))
+       inst.Instance.flows
+
+let schedule_feasible ep (inst : Instance.t) schedule =
+  let by_round = Hashtbl.create 16 in
+  let ok = ref true in
+  Array.iter
+    (fun (f : Flow.t) ->
+      let r = Schedule.round_of schedule f.Flow.id in
+      if r < 0 then ok := false
+      else
+        Hashtbl.replace by_round r
+          (f :: Option.value ~default:[] (Hashtbl.find_opt by_round r)))
+    inst.Instance.flows;
+  !ok && Hashtbl.fold (fun _ fs acc -> acc && feasible ep fs) by_round true

@@ -1,0 +1,50 @@
+(** Endpoint (node) capacity constraints — the neighboring problem studied by
+    the paper's direct successor (Pa–Rajaraman–Stalfa 2021).
+
+    Ports are grouped into nodes (e.g. the NICs of one physical host behind
+    several switch ports); a node has its own transfer capacity, shared by
+    every flow touching any of its ports in a round.  This layers a second,
+    coarser capacity constraint on top of the per-port capacities an
+    {!Instance.t} already carries: a round's flow set must fit the port
+    capacities {e and}, per node, the total demand entering (or leaving) the
+    node must stay within the node capacity. *)
+
+type t = private {
+  m : int;  (** input ports covered *)
+  m' : int;  (** output ports covered *)
+  node_in : int array;  (** input port -> node id *)
+  node_out : int array;  (** output port -> node id *)
+  nodes_in : int;
+  nodes_out : int;
+  cap_node_in : int array;  (** per input-side node capacity *)
+  cap_node_out : int array;  (** per output-side node capacity *)
+}
+
+val make :
+  node_in:int array -> node_out:int array ->
+  cap_node_in:int array -> cap_node_out:int array -> t
+(** Raises [Invalid_argument] on empty sides, node ids out of range, or
+    non-positive node capacities. *)
+
+val blocks : m:int -> m':int -> nodes:int -> cap:int -> t
+(** Balanced contiguous grouping: [nodes] nodes per side, each covering a
+    block of adjacent ports (sizes differ by at most one), every node with
+    capacity [cap].  Raises [Invalid_argument] when [nodes < 1], [cap < 1],
+    or there are more nodes than ports on a side. *)
+
+val scale : t -> min_cap:int -> t
+(** Raise every node capacity to at least [min_cap] — used to guarantee
+    {!admits} for instances with demands above the configured node cap
+    (a flow larger than its node could otherwise never be scheduled). *)
+
+val feasible : t -> Flow.t list -> bool
+(** Whether the flows can run together in one round under the node
+    capacities alone (port capacities are checked elsewhere). *)
+
+val admits : t -> Instance.t -> bool
+(** Geometry matches and every flow fits its two nodes on its own —
+    necessary for any schedule to exist under the node capacities. *)
+
+val schedule_feasible : t -> Instance.t -> Schedule.t -> bool
+(** Whether a complete schedule respects the node capacities in every
+    round. *)
