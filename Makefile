@@ -1,5 +1,6 @@
 .PHONY: build test bench bench-smoke bench-lp serve-smoke obs-smoke chaos-smoke \
-  domains-smoke bench-exec scenarios-smoke bench-scenarios clean
+  domains-smoke bench-exec scenarios-smoke bench-scenarios dist-smoke bench-dist \
+  reproduce goldens clean
 
 build:
 	dune build
@@ -188,6 +189,100 @@ bench-scenarios:
 	  && grep -q '"disagreements": 0' BENCH_scenarios.json \
 	  && echo "bench-scenarios: OK (BENCH_scenarios.json valid, backends agree)" \
 	  || (echo "bench-scenarios: BAD artifact or backend disagreement" && exit 1)
+
+# Distributed-sweep chaos gate: three shard workers over the chaos grid.
+# Worker 0 is killed mid-shard (deterministic fault plan, no retries — the
+# first injected fault is fatal), leaving its lease and a partial CRC-sealed
+# checkpoint behind.  The merge must refuse the partial grid, a takeover
+# worker must claim the stale lease (dead-pid fast path) and finish the
+# shard from the crashed worker's prefix, and the final merged artifact —
+# DIST_merged.json, kept on disk for the CI upload — must be byte-identical
+# to the uninterrupted single-box --jobs 1 run modulo the timing lines.
+DIST_GRID = --kinds poisson,uniform -m 4 --rates 2 --rounds 4,5 --seeds 1,2 \
+  --policies maxcard,minrtime --lp
+DIST_DIR = _dist_ckpt
+
+dist-smoke: build
+	@rm -rf $(DIST_DIR) _dist_*.json _dist_*.f _dist_takeover.log DIST_merged.json
+	_build/default/bin/main.exe sweep $(DIST_GRID) --jobs 1 --out _dist_ref.json 2>/dev/null
+	@_build/default/bin/main.exe sweep $(DIST_GRID) --jobs 1 --shard 0/3 \
+	  --checkpoint-dir $(DIST_DIR) --chaos 1 --retries 0 >/dev/null 2>&1; \
+	test $$? -ne 0 \
+	  && echo "dist-smoke: worker 0 crashed mid-shard (as planned)" \
+	  || (echo "dist-smoke: chaos worker unexpectedly survived" && exit 1)
+	@test -f $(DIST_DIR)/shard-0-of-3.lease \
+	  && test -s $(DIST_DIR)/shard-0-of-3.jsonl \
+	  && echo "dist-smoke: crash left lease + partial checkpoint behind" \
+	  || (echo "dist-smoke: expected a stale lease and a checkpoint prefix" && exit 1)
+	_build/default/bin/main.exe sweep $(DIST_GRID) --jobs 1 --shard 1/3 \
+	  --checkpoint-dir $(DIST_DIR) 2>/dev/null
+	_build/default/bin/main.exe sweep $(DIST_GRID) --jobs 1 --shard 2/3 \
+	  --checkpoint-dir $(DIST_DIR) 2>/dev/null
+	@_build/default/bin/main.exe merge $(DIST_GRID) --dir $(DIST_DIR) \
+	  --out _dist_partial.json >/dev/null 2>&1; \
+	test $$? -ne 0 \
+	  && echo "dist-smoke: merge refused the partial grid (missing cells)" \
+	  || (echo "dist-smoke: merge accepted a partial grid without --allow-partial" && exit 1)
+	_build/default/bin/main.exe sweep $(DIST_GRID) --jobs 1 --shard 0/3 \
+	  --checkpoint-dir $(DIST_DIR) 2>_dist_takeover.log
+	@grep -q 'takeover: claimed stale lease' _dist_takeover.log \
+	  && grep -q 'resuming:' _dist_takeover.log \
+	  && echo "dist-smoke: takeover claimed the stale lease and resumed the prefix" \
+	  || (echo "dist-smoke: expected a lease takeover + checkpoint resume" && cat _dist_takeover.log && exit 1)
+	_build/default/bin/main.exe merge $(DIST_GRID) --dir $(DIST_DIR) --out DIST_merged.json
+	@$(CHAOS_FILTER) _dist_ref.json > _dist_ref.f
+	@$(CHAOS_FILTER) DIST_merged.json > _dist_merged.f
+	@diff _dist_ref.f _dist_merged.f >/dev/null \
+	  && echo "dist-smoke: merged artifact byte-identical to single-box --jobs 1 run" \
+	  || (echo "dist-smoke: merged artifact diverges from the clean run" && exit 1)
+	@rm -rf $(DIST_DIR) _dist_*.json _dist_*.f _dist_takeover.log
+
+# Sharded sweep + verifying merge vs the single-box run; any byte-level
+# disagreement (after the timing lines) exits non-zero.  Writes the
+# schema-checked BENCH_dist.json for the CI artifact upload.
+bench-dist:
+	dune exec bench/main.exe -- dist --json --jobs 2
+	@grep -q '"schema": "flowsched-bench-dist/1"' BENCH_dist.json \
+	  && grep -q '"disagreements": 0' BENCH_dist.json \
+	  && echo "bench-dist: OK (BENCH_dist.json valid, merge agrees)" \
+	  || (echo "bench-dist: BAD artifact or merge disagreement" && exit 1)
+
+# Artifact-evaluation harness, first slice: rerun the deterministic
+# evaluation artifacts and diff them byte-for-byte against the committed
+# goldens (goldens/).  The matrix artifact carries no timing metadata at
+# all; the sweep artifact is compared after dropping its documented
+# wall-clock lines; the serve outcome is all-integer.  Regenerate after an
+# intentional change with `make goldens` and commit the diff.
+REPRO_SERVE = serve --core incremental --workload uniform -m 8 --rate 6 \
+  --slots 20000 --seed 7 --status-every 0 --json
+
+reproduce: build
+	@rm -f _repro_*.json _repro_*.f
+	_build/default/bin/main.exe matrix $(MATRIX_GRID) --jobs 2 --out _repro_matrix.json 2>/dev/null
+	@cmp goldens/matrix.json _repro_matrix.json \
+	  && echo "reproduce: matrix artifact matches golden" \
+	  || (echo "reproduce: matrix artifact diverges from goldens/matrix.json" && exit 1)
+	_build/default/bin/main.exe sweep $(CHAOS_GRID) --out _repro_sweep.json 2>/dev/null
+	@$(CHAOS_FILTER) _repro_sweep.json > _repro_sweep.f
+	@diff goldens/sweep.filtered.json _repro_sweep.f >/dev/null \
+	  && echo "reproduce: sweep artifact matches golden (timing lines excluded)" \
+	  || (echo "reproduce: sweep artifact diverges from goldens/sweep.filtered.json" && exit 1)
+	_build/default/bin/main.exe $(REPRO_SERVE) > _repro_serve.json 2>/dev/null
+	@cmp goldens/serve.json _repro_serve.json \
+	  && echo "reproduce: serve outcome matches golden" \
+	  || (echo "reproduce: serve outcome diverges from goldens/serve.json" && exit 1)
+	@rm -f _repro_*.json _repro_*.f
+	@echo "reproduce: OK (all artifacts match the committed goldens)"
+
+# Regenerate the committed goldens (after an intentional behavior change).
+goldens: build
+	@mkdir -p goldens
+	_build/default/bin/main.exe matrix $(MATRIX_GRID) --jobs 2 --out goldens/matrix.json 2>/dev/null
+	_build/default/bin/main.exe sweep $(CHAOS_GRID) --out _golden_sweep.json 2>/dev/null
+	@$(CHAOS_FILTER) _golden_sweep.json > goldens/sweep.filtered.json
+	@rm -f _golden_sweep.json
+	_build/default/bin/main.exe $(REPRO_SERVE) > goldens/serve.json 2>/dev/null
+	@echo "goldens regenerated — review and commit goldens/"
 
 clean:
 	dune clean

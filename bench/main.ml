@@ -21,6 +21,9 @@
      dune exec bench/main.exe -- exec [--json]  # fork vs domains vs inline over
                                               # a sweep grid + parallel-rho
                                               # micro (writes BENCH_exec.json)
+     dune exec bench/main.exe -- dist [--json]  # sharded sweep + verifying
+                                              # merge vs single box, byte-
+                                              # agreement gate (BENCH_dist.json)
      dune exec bench/main.exe -- scenarios [--json]  # zoo x mode matrix across
                                               # backends, byte-agreement gate
                                               # (writes BENCH_scenarios.json)
@@ -1224,6 +1227,149 @@ let exec_bench ?(json = false) ~jobs () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Distributed sweep bench                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dist_bench ?(json = false) ~jobs () =
+  section "Distributed sweep — shard workers, checkpoints, verifying merge";
+  Printf.printf
+    "The same LP-enabled sweep grid runs unsharded and split over 2 / 4 / 8\n\
+     shard workers (each filling its CRC-sealed checkpoint, then a verifying\n\
+     merge).  After dropping wall-clock lines the merged artifact must be\n\
+     byte-identical to the single-box run; the table shows what the shard +\n\
+     merge machinery costs on top of the raw sweep.\n\n%!";
+  let module Shard = Flowsched_dist.Shard in
+  let module Merge = Flowsched_dist.Merge in
+  let module Checkpoint = Flowsched_sim.Checkpoint in
+  let policies = Heuristics.all_paper_heuristics in
+  let policy_names = List.map (fun (p : Policy.t) -> p.name) policies in
+  let cells =
+    List.concat_map
+      (fun sweep_seed ->
+        List.map
+          (fun (arrival_rate, horizon) ->
+            {
+              Experiment.workload = "poisson";
+              ports = 5;
+              arrival_rate;
+              horizon;
+              max_demand = 3;
+              sweep_seed;
+              lp = true;
+            })
+          [ (2.0, 8); (3.0, 9); (4.0, 7) ])
+      [ 1; 2; 3; 4 ]
+  in
+  let ncells = List.length cells in
+  let all_keys = List.map Checkpoint.sweep_key cells in
+  let with_temp_dir f =
+    let dir = Filename.temp_file "flowsched_bench_dist" "" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+          (Sys.readdir dir);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      (fun () -> f dir)
+  in
+  let disagreements = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let reference_results = Experiment.run_sweep ~policies ~jobs cells in
+  let single_box_s = elapsed t0 in
+  let reference =
+    strip_timing_lines (Json.to_string (Report.sweep_json ~jobs:1 reference_results))
+  in
+  let t =
+    Table.create
+      [
+        ("shards", Table.Right);
+        ("cells", Table.Right);
+        ("shard wall s", Table.Right);
+        ("merge wall s", Table.Right);
+        ("overhead", Table.Right);
+        ("artifact agree", Table.Right);
+      ]
+  in
+  let shard_rows =
+    List.map
+      (fun shards ->
+        with_temp_dir @@ fun dir ->
+        (* The workers run back-to-back in this process: the bench measures
+           the machinery (planning, manifests, sealed appends, merge
+           validation), not multi-box wall clock. *)
+        let t0 = Unix.gettimeofday () in
+        for index = 0 to shards - 1 do
+          let mine = Shard.plan ~shards ~index cells in
+          ignore
+            (Shard.write_manifest ~dir
+               (Shard.make ~kind:"sweep" ~shards ~index ~policies:policy_names all_keys));
+          let path = Filename.concat dir (Shard.checkpoint_name ~shards ~index) in
+          let ck = Checkpoint.open_ ~path ~resume:true in
+          ignore (Checkpoint.run_sweep ~policies ~jobs ck mine);
+          Checkpoint.close ck
+        done;
+        let shard_s = elapsed t0 in
+        let t1 = Unix.gettimeofday () in
+        let merged =
+          match Merge.sweep ~dir ~policies:policy_names cells with
+          | Error e -> failwith (Printf.sprintf "bench merge (%d shards): %s" shards e)
+          | Ok (results, report) ->
+              if report.Merge.missing <> [] then
+                failwith (Printf.sprintf "bench merge (%d shards): missing cells" shards);
+              strip_timing_lines (Json.to_string (Report.sweep_json ~jobs:1 results))
+        in
+        let merge_s = elapsed t1 in
+        let agree = merged = reference in
+        if not agree then incr disagreements;
+        let overhead = (shard_s +. merge_s) /. single_box_s in
+        Table.add_row t
+          [
+            string_of_int shards;
+            string_of_int ncells;
+            Table.cell_float ~decimals:3 shard_s;
+            Table.cell_float ~decimals:3 merge_s;
+            Printf.sprintf "%.2fx" overhead;
+            string_of_bool agree;
+          ];
+        Json.Obj
+          [
+            ("shards", Json.Int shards);
+            ("shard_wall_s", Json.float shard_s);
+            ("merge_wall_s", Json.float merge_s);
+            ("overhead_vs_single_box", Json.float overhead);
+            ("artifact_agree", Json.Bool agree);
+          ])
+      [ 2; 4; 8 ]
+  in
+  Table.print t;
+  Printf.printf "\n(single-box reference: %.3fs for %d cells)\n%!" single_box_s ncells;
+  if json then begin
+    let artifact =
+      Json.Obj
+        [
+          ("schema", Json.Str "flowsched-bench-dist/1");
+          ("jobs", Json.Int jobs);
+          ("sweep_cells", Json.Int ncells);
+          ("single_box_wall_s", Json.float single_box_s);
+          ("shard_runs", Json.Arr shard_rows);
+          ("disagreements", Json.Int !disagreements);
+        ]
+    in
+    let path = "BENCH_dist.json" in
+    let oc = open_out path in
+    output_string oc (Json.to_string artifact);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n%!" path
+  end;
+  if !disagreements > 0 then begin
+    Printf.eprintf "FAIL: %d merged-artifact disagreement(s)\n%!" !disagreements;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Scenario matrix bench                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1501,10 +1647,11 @@ let () =
         fill c.Simplex.eta_nnz c.Simplex.bound_flips cold_s warm_s agree
   | "serve" :: rest -> serve_bench ~json:(List.mem "--json" rest) ()
   | "exec" :: rest -> exec_bench ~json:(List.mem "--json" rest) ~jobs ()
+  | "dist" :: rest -> dist_bench ~json:(List.mem "--json" rest) ~jobs ()
   | "scenarios" :: rest -> scenarios_bench ~json:(List.mem "--json" rest) ~jobs ()
   | other :: _ ->
       Printf.eprintf
-        "unknown bench mode %S (try figures|ablations|adversarial|micro|lp|serve|exec|scenarios)\n"
+        "unknown bench mode %S (try figures|ablations|adversarial|micro|lp|serve|exec|dist|scenarios)\n"
         other;
       exit 2);
   section "Metrics registry";

@@ -92,6 +92,22 @@ let jobs_conv =
   in
   Arg.conv (parse, Format.pp_print_int)
 
+(* "--shard I/N": zero-based shard index out of N workers. *)
+let shard_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ i; n ] -> (
+        match (int_of_string_opt i, int_of_string_opt n) with
+        | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (i, n)
+        | Some _, Some _ ->
+            Error
+              (`Msg
+                (Printf.sprintf "--shard %s: need 0 <= I < N (indexes are zero-based)" s))
+        | _ -> Error (`Msg (Printf.sprintf "invalid --shard %S (expected I/N)" s)))
+    | _ -> Error (`Msg (Printf.sprintf "invalid --shard %S (expected I/N, e.g. 0/4)" s))
+  in
+  Arg.conv (parse, fun fmt (i, n) -> Format.fprintf fmt "%d/%d" i n)
+
 let backend_conv =
   let parse s =
     match Flowsched_domains.Backend.of_string s with
@@ -575,19 +591,9 @@ let figures_cmd =
 
 (* ----- sweep ----- *)
 
-let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp backend jobs
-    timeout retries chaos checkpoint resume out trace metrics =
-  with_obs ~trace ~metrics @@ fun () ->
-  let policies = List.map (fun name -> policy_of_name name 1) policy_names in
-  if resume && checkpoint = None then begin
-    Printf.eprintf "error: --resume requires --checkpoint FILE\n";
-    exit 1
-  end;
-  let faults = Option.map (fun seed -> Flowsched_exec.Faults.chaos ~seed) chaos in
-  (* Chaos without a timeout would let an injected hang wedge the run. *)
-  let timeout =
-    match (timeout, faults) with None, Some _ -> Some 10. | t, _ -> t
-  in
+(* The sweep grid as a pure function of the CLI flags — shared by [sweep]
+   (all modes) and [merge], which must agree on the grid cell-for-cell. *)
+let sweep_cells_or_exit ~kinds ~m ~rates ~rounds_list ~max_demand ~seeds ~with_lp =
   List.iter
     (fun kind ->
       if not (Flowsched_sim.Experiment.sweep_kind_known kind) then begin
@@ -625,7 +631,101 @@ let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp backen
     Printf.eprintf "error: empty sweep grid (check --rates/--rounds/--seeds)\n";
     exit 1
   end;
+  cells
+
+(* One worker's share of a distributed sweep: claim the shard lease (taking
+   over a crashed predecessor's if stale), register the manifest, and fill
+   the shard checkpoint — heartbeating the lease after every durable append.
+   No artifact is written here; [flowsched merge] folds the shard files back
+   into one. *)
+let sweep_shard_worker ~policies ~policy_names ~backend ~jobs ~timeout ~retries ~faults ~dir
+    ~shards ~index ~lease_ttl cells =
+  let module Ckpt = Flowsched_sim.Checkpoint in
+  let module Shard = Flowsched_dist.Shard in
+  let module Lease = Flowsched_dist.Lease in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let all_keys = List.map Ckpt.sweep_key cells in
+  let mine = Shard.plan ~shards ~index cells in
+  let stem = Shard.file_stem ~shards ~index in
+  match Lease.acquire ~dir ~name:stem ~ttl:lease_ttl () with
+  | Error incumbent ->
+      Printf.eprintf "error: shard %d/%d is held by live worker %s (heartbeat %.0fs ago)\n"
+        index shards incumbent.Lease.owner
+        (Unix.gettimeofday () -. incumbent.Lease.refreshed_at);
+      exit 1
+  | Ok { Lease.lease; taken_over_from } ->
+      (match taken_over_from with
+      | Some h ->
+          Printf.eprintf "  takeover: claimed stale lease of %s, resuming their checkpoint\n%!"
+            h.Lease.owner
+      | None -> ());
+      let manifest = Shard.make ~kind:"sweep" ~shards ~index ~policies:policy_names all_keys in
+      ignore (Shard.write_manifest ~dir manifest);
+      let path = Filename.concat dir (Shard.checkpoint_name ~shards ~index) in
+      let ckpt = Ckpt.open_ ~path ~resume:true in
+      if Ckpt.loaded ckpt > 0 then
+        Printf.eprintf "  resuming: %d of %d shard cells already checkpointed\n%!"
+          (Ckpt.loaded ckpt) (List.length mine);
+      Printf.eprintf "shard %d/%d: %d of %d cells, %d workers (%s)\n%!" index shards
+        (List.length mine) (List.length cells) jobs
+        (Flowsched_domains.Backend.to_string backend);
+      let progress msg = Printf.eprintf "  %s\n%!" msg in
+      let on_append _key = Lease.refresh lease in
+      (try
+         Fun.protect
+           ~finally:(fun () -> Ckpt.close ckpt)
+           (fun () ->
+             ignore
+               (Ckpt.run_sweep ~policies ~progress ~backend ~jobs ?timeout ?retries ?faults
+                  ~on_append ckpt mine))
+       with
+      | Lease.Lost msg ->
+          (* Another worker judged us dead and took the shard; stop writing. *)
+          Printf.eprintf "error: %s — shard taken over, aborting\n" msg;
+          exit 1
+      | Flowsched_exec.Pool.Interrupted ->
+          Printf.eprintf "interrupted: pool drained and workers reaped\n";
+          Printf.eprintf "  completed cells are saved; rerun the same command to resume\n";
+          exit 130);
+      (* Only a cleanly finished shard releases its lease: a crash leaves the
+         lease in place, which is exactly what the next claimant detects. *)
+      Lease.release lease;
+      Printf.eprintf "shard %d/%d complete: %d cells in %s\n%!" index shards
+        (List.length mine) path
+
+let sweep kinds m rates rounds_list max_demand seeds policy_names with_lp backend jobs
+    timeout retries chaos shard checkpoint_dir lease_ttl checkpoint resume out trace metrics =
+  with_obs ~trace ~metrics @@ fun () ->
+  let policies = List.map (fun name -> policy_of_name name 1) policy_names in
+  if resume && checkpoint = None then begin
+    Printf.eprintf "error: --resume requires --checkpoint FILE\n";
+    exit 1
+  end;
+  (match (shard, checkpoint_dir) with
+  | Some _, None ->
+      Printf.eprintf "error: --shard requires --checkpoint-dir DIR\n";
+      exit 1
+  | None, Some _ ->
+      Printf.eprintf "error: --checkpoint-dir requires --shard I/N\n";
+      exit 1
+  | _ -> ());
+  if shard <> None && checkpoint <> None then begin
+    Printf.eprintf
+      "error: --shard derives its own checkpoint from --checkpoint-dir; drop --checkpoint\n";
+    exit 1
+  end;
+  let faults = Option.map (fun seed -> Flowsched_exec.Faults.chaos ~seed) chaos in
+  (* Chaos without a timeout would let an injected hang wedge the run. *)
+  let timeout =
+    match (timeout, faults) with None, Some _ -> Some 10. | t, _ -> t
+  in
+  let cells = sweep_cells_or_exit ~kinds ~m ~rates ~rounds_list ~max_demand ~seeds ~with_lp in
   let jobs = match jobs with Some j -> j | None -> Flowsched_exec.Pool.default_jobs () in
+  match (shard, checkpoint_dir) with
+  | Some (index, shards), Some dir ->
+      sweep_shard_worker ~policies ~policy_names ~backend ~jobs ~timeout ~retries ~faults
+        ~dir ~shards ~index ~lease_ttl cells
+  | _ ->
   Printf.eprintf "sweep: %d cells x %d policies, %d workers (%s)\n%!" (List.length cells)
     (List.length policies) jobs
     (Flowsched_domains.Backend.to_string backend);
@@ -745,6 +845,33 @@ let sweep_cmd =
              corrupt frames) seeded by SEED. Testing aid: with enough --retries the \
              artifact is identical to a fault-free run.")
   in
+  let shard =
+    Arg.(
+      value
+      & opt (some shard_conv) None
+      & info [ "shard" ] ~docv:"I/N"
+          ~doc:
+            "Run as distributed shard worker I of N (zero-based): compute only the cells \
+             this shard owns, guarded by a lease in --checkpoint-dir, and write them to the \
+             shard's CRC-sealed checkpoint instead of an artifact. Combine the shards with \
+             $(b,flowsched merge).")
+  in
+  let checkpoint_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:
+            "Shared directory for distributed shard state: per-shard manifests, checkpoints \
+             and lease files (requires --shard).")
+  in
+  let lease_ttl =
+    Arg.(
+      value & opt float 60.
+      & info [ "lease-ttl" ] ~docv:"SECS"
+          ~doc:
+            "Staleness horizon for shard leases: a shard whose lease heartbeat is older \
+             than SECS (or whose same-host pid is dead) can be taken over.")
+  in
   let checkpoint =
     Arg.(
       value & opt (some string) None
@@ -771,17 +898,130 @@ let sweep_cmd =
           write a machine-readable JSON artifact.")
     Term.(
       const sweep $ kinds $ m $ rates $ rounds_list $ max_demand $ seeds $ policy_names
-      $ with_lp $ backend_term $ jobs $ timeout $ retries $ chaos $ checkpoint $ resume $ out
-      $ trace_term $ metrics_term)
+      $ with_lp $ backend_term $ jobs $ timeout $ retries $ chaos $ shard $ checkpoint_dir
+      $ lease_ttl $ checkpoint $ resume $ out $ trace_term $ metrics_term)
+
+(* ----- merge ----- *)
+
+let merge kinds m rates rounds_list max_demand seeds policy_names with_lp dir allow_partial
+    out =
+  let cells = sweep_cells_or_exit ~kinds ~m ~rates ~rounds_list ~max_demand ~seeds ~with_lp in
+  match Flowsched_dist.Merge.sweep ~dir ~policies:policy_names cells with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Ok (results, report) ->
+      let module M = Flowsched_dist.Merge in
+      Printf.eprintf
+        "merge: %d/%d cells from %d of %d shards (%d duplicate(s), all byte-equal)\n%!"
+        report.M.found_cells report.M.expected_cells
+        (List.length report.M.manifests_present)
+        report.M.shards report.M.duplicate_cells;
+      if report.M.missing <> [] then begin
+        List.iter
+          (fun (key, owner) ->
+            Printf.eprintf "  missing: %s (owned by shard %d)\n" key owner)
+          report.M.missing;
+        if not allow_partial then begin
+          Printf.eprintf
+            "error: %d cell(s) missing — finish (or take over) the owning shards, or pass \
+             --allow-partial\n"
+            (List.length report.M.missing);
+          exit 1
+        end
+      end;
+      (* jobs:1 — the merged artifact must be byte-identical to what one
+         uninterrupted single-box [--jobs 1] run would have written. *)
+      let artifact = Flowsched_sim.Report.sweep_json ~jobs:1 results in
+      let data = Flowsched_util.Json.to_string artifact ^ "\n" in
+      (match out with
+      | "-" -> print_string data
+      | path ->
+          Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data);
+          Printf.eprintf "wrote %s (%d cells)\n%!" path report.M.found_cells)
+
+let merge_cmd =
+  let list_of kind = Arg.list kind in
+  let kinds =
+    Arg.(
+      value
+      & opt (list_of string) [ "poisson" ]
+      & info [ "kinds" ] ~docv:"KINDS"
+          ~doc:"Comma-separated workload kinds — must match the sharded sweep's flags.")
+  in
+  let m = Arg.(value & opt int 6 & info [ "m" ] ~doc:"Ports per side.") in
+  let rates =
+    Arg.(
+      value & opt (list_of float) [ 2.0; 4.0 ]
+      & info [ "rates" ] ~docv:"RATES" ~doc:"Comma-separated arrival rates.")
+  in
+  let rounds_list =
+    Arg.(
+      value & opt (list_of int) [ 6; 8 ]
+      & info [ "rounds" ] ~docv:"ROUNDS" ~doc:"Comma-separated generation lengths (T).")
+  in
+  let max_demand =
+    Arg.(value & opt int 3 & info [ "max-demand" ] ~doc:"Demand bound (poisson-demands).")
+  in
+  let seeds =
+    Arg.(
+      value & opt (list_of int) [ 1 ]
+      & info [ "seeds" ] ~docv:"SEEDS" ~doc:"Comma-separated PRNG seeds, one cell each.")
+  in
+  let policy_names =
+    Arg.(
+      value
+      & opt (list_of string) [ "maxcard"; "minrtime"; "maxweight" ]
+      & info [ "policies" ] ~docv:"POLICIES"
+          ~doc:"Comma-separated policies — must match the sharded sweep's flags.")
+  in
+  let with_lp =
+    Arg.(value & flag & info [ "lp" ] ~doc:"The sharded sweep ran with --lp.")
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "dir"; "checkpoint-dir" ] ~docv:"DIR"
+          ~doc:"The shard checkpoint directory the workers wrote into.")
+  in
+  let allow_partial =
+    Arg.(
+      value & flag
+      & info [ "allow-partial" ]
+          ~doc:
+            "Write the artifact even when cells are missing (default: missing cells are an \
+             error so a half-finished distributed run cannot masquerade as a complete one).")
+  in
+  let out =
+    Arg.(
+      value & opt string "sweep.json"
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Output JSON artifact path ('-' for stdout).")
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Merge the per-shard checkpoints of a distributed sweep (run with --shard I/N \
+          --checkpoint-dir DIR) into the single artifact an uninterrupted --jobs 1 run \
+          would have written. Validates every shard manifest against this grid's \
+          fingerprint, requires duplicated cells to agree byte-for-byte, and refuses \
+          partial grids unless --allow-partial.")
+    Term.(
+      const merge $ kinds $ m $ rates $ rounds_list $ max_demand $ seeds $ policy_names
+      $ with_lp $ dir $ allow_partial $ out)
 
 (* ----- matrix ----- *)
 
 let matrix kinds mode_names m rates rounds_list max_demand seeds policy_names with_lp
-    backend jobs timeout retries out trace metrics =
+    backend jobs timeout retries checkpoint resume out trace metrics =
   with_obs ~trace ~metrics @@ fun () ->
   let module Scenario = Flowsched_scenarios.Scenario in
   let module Matrix = Flowsched_scenarios.Matrix in
   let policies = List.map (fun name -> policy_of_name name 1) policy_names in
+  if resume && checkpoint = None then begin
+    Printf.eprintf "error: --resume requires --checkpoint FILE\n";
+    exit 1
+  end;
   let parse_or_exit parse what s =
     match parse s with
     | Ok v -> v
@@ -827,9 +1067,26 @@ let matrix kinds mode_names m rates rounds_list max_demand seeds policy_names wi
   let results =
     try
       Flowsched_obs.Trace.with_span "matrix.run" (fun () ->
-          Matrix.run ~policies ~progress ~backend ~jobs ?timeout ?retries cells)
+          match checkpoint with
+          | None -> Matrix.run ~policies ~progress ~backend ~jobs ?timeout ?retries cells
+          | Some path ->
+              let ckpt = Flowsched_sim.Checkpoint.open_ ~path ~resume in
+              if resume then
+                Printf.eprintf "  resuming: %d of %d cells already checkpointed\n%!"
+                  (Flowsched_sim.Checkpoint.loaded ckpt)
+                  (List.length cells);
+              Fun.protect
+                ~finally:(fun () -> Flowsched_sim.Checkpoint.close ckpt)
+                (fun () ->
+                  Matrix.run_checkpointed ~policies ~progress ~backend ~jobs ?timeout
+                    ?retries ckpt cells))
     with Flowsched_exec.Pool.Interrupted ->
       Printf.eprintf "interrupted: pool drained and workers reaped\n";
+      (match checkpoint with
+      | Some path ->
+          Printf.eprintf "  completed cells are saved; rerun with --checkpoint %s --resume\n"
+            path
+      | None -> Printf.eprintf "  rerun with --checkpoint FILE to make progress durable\n");
       finish_obs ~trace ~metrics ();
       exit 130
   in
@@ -917,6 +1174,20 @@ let matrix_cmd =
       & info [ "retries" ] ~docv:"N"
           ~doc:"Retry budget per cell beyond the first attempt (default 1).")
   in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Append each completed cell to FILE (JSONL, CRC-sealed per line) as it settles, \
+             so an interrupted run can be resumed with --resume.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Skip cells already present in the --checkpoint file instead of truncating it.")
+  in
   let out =
     Arg.(
       value & opt string "matrix.json"
@@ -930,8 +1201,8 @@ let matrix_cmd =
           machine-readable JSON artifact, byte-identical across --jobs and backends.")
     Term.(
       const matrix $ kinds $ modes $ m $ rates $ rounds_list $ max_demand $ seeds
-      $ policy_names $ with_lp $ backend_term $ jobs $ timeout $ retries $ out $ trace_term
-      $ metrics_term)
+      $ policy_names $ with_lp $ backend_term $ jobs $ timeout $ retries $ checkpoint
+      $ resume $ out $ trace_term $ metrics_term)
 
 (* ----- check-trace ----- *)
 
@@ -1068,6 +1339,7 @@ let () =
         exact_cmd;
         figures_cmd;
         sweep_cmd;
+        merge_cmd;
         matrix_cmd;
         check_trace_cmd;
         rtt_cmd;

@@ -1,0 +1,159 @@
+open Flowsched_util
+
+type holder = {
+  owner : string;
+  host : string;
+  pid : int;
+  acquired_at : float;
+  refreshed_at : float;
+}
+
+type t = { path : string; name : string; ttl : float; mutable holder : holder }
+
+exception Lost of string
+
+let self_owner () = Printf.sprintf "%s:%d" (Unix.gethostname ()) (Unix.getpid ())
+
+let ttl t = t.ttl
+let holder t = t.holder
+let path t = t.path
+
+let holder_json h =
+  Json.Obj
+    [
+      ("owner", Json.Str h.owner);
+      ("host", Json.Str h.host);
+      ("pid", Json.Int h.pid);
+      ("acquired_at", Json.Float h.acquired_at);
+      ("refreshed_at", Json.Float h.refreshed_at);
+    ]
+
+let holder_of_json j =
+  match
+    ( Option.bind (Json.member "owner" j) Json.to_string_opt,
+      Option.bind (Json.member "host" j) Json.to_string_opt,
+      Option.bind (Json.member "pid" j) Json.to_int_opt,
+      Option.bind (Json.member "acquired_at" j) Json.to_float_opt,
+      Option.bind (Json.member "refreshed_at" j) Json.to_float_opt )
+  with
+  | Some owner, Some host, Some pid, Some acquired_at, Some refreshed_at ->
+      Some { owner; host; pid; acquired_at; refreshed_at }
+  | _ -> None
+
+let read_holder path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | data -> (
+      match Json.parse data with
+      | Error _ -> None
+      | Ok j -> Option.bind (Some j) holder_of_json)
+
+let read ~dir ~name =
+  let path = Filename.concat dir (name ^ ".lease") in
+  if Sys.file_exists path then read_holder path else None
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  (* EPERM means the process exists but belongs to someone else. *)
+  | exception Unix.Unix_error (Unix.EPERM, _, _) -> true
+
+(* A holder is stale when its heartbeat is older than the ttl — or, as a
+   same-host fast path, when its recorded pid no longer exists (the usual
+   case in tests and single-box multi-process runs: no need to wait out
+   the ttl to reclaim a SIGKILLed worker's shard). *)
+let is_stale h ~ttl =
+  (String.equal h.host (Unix.gethostname ()) && not (pid_alive h.pid))
+  || Unix.gettimeofday () -. h.refreshed_at > ttl
+
+(* Write [h] to a fresh temp file and atomically [link] it to [path].
+   [link] fails with EEXIST if the lease exists — the atomic arbiter: of
+   any number of concurrent claimants, exactly one wins.  (O_EXCL create
+   then write would expose a half-written lease to concurrent readers.) *)
+let try_create path h =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (Json.to_string (holder_json h));
+      Out_channel.output_char oc '\n');
+  let won =
+    match Unix.link tmp path with
+    | () -> true
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+  in
+  (try Sys.remove tmp with Sys_error _ -> ());
+  won
+
+type acquired = { lease : t; taken_over_from : holder option }
+
+let acquire ~dir ~name ?(ttl = 60.) () =
+  let path = Filename.concat dir (name ^ ".lease") in
+  let fresh () =
+    let now = Unix.gettimeofday () in
+    {
+      owner = self_owner ();
+      host = Unix.gethostname ();
+      pid = Unix.getpid ();
+      acquired_at = now;
+      refreshed_at = now;
+    }
+  in
+  (* Claim loop: try to create; on EEXIST inspect the incumbent; if it is
+     stale, rename it away (only one claimant's rename of a given lease
+     file succeeds) and try again.  Bounded: live contention means someone
+     else owns the shard, which is a normal answer, not a reason to spin. *)
+  let rec go tries stolen =
+    if tries <= 0 then failwith (Printf.sprintf "lease %s: claim did not settle" path)
+    else begin
+      let h = fresh () in
+      if try_create path h then
+        Ok { lease = { path; name; ttl; holder = h }; taken_over_from = stolen }
+      else
+        match read_holder path with
+        | None ->
+            (* Mid-takeover by someone else, or unreadable: look again. *)
+            go (tries - 1) stolen
+        | Some incumbent ->
+            if String.equal incumbent.owner (self_owner ()) then
+              (* Our own previous incarnation cannot happen (owner embeds
+                 the pid), but our own lease from this process can: treat
+                 re-acquisition as already-held. *)
+              Ok { lease = { path; name; ttl; holder = incumbent }; taken_over_from = stolen }
+            else if is_stale incumbent ~ttl then begin
+              let claim = Printf.sprintf "%s.stale.%d" path (Unix.getpid ()) in
+              (match Unix.rename path claim with
+              | () -> ( try Sys.remove claim with Sys_error _ -> ())
+              | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+              go (tries - 1) (Some incumbent)
+            end
+            else Error incumbent
+    end
+  in
+  go 8 None
+
+(* Heartbeat: verify the file still names us, then atomically replace it
+   with a refreshed timestamp.  If another worker stole the lease (it
+   judged us dead — we stalled past the ttl), raise [Lost] instead of
+   clobbering the thief: two workers writing one shard checkpoint is the
+   exact split-brain the lease exists to prevent.  The check-then-rename
+   window is inherent to filesystem-only coordination; it only opens after
+   a real heartbeat stall, and the merge's duplicate audit would still
+   catch any nondeterminism that slipped through. *)
+let refresh t =
+  (match read_holder t.path with
+  | Some h when String.equal h.owner t.holder.owner -> ()
+  | Some h -> raise (Lost (Printf.sprintf "lease %s now held by %s" t.path h.owner))
+  | None -> raise (Lost (Printf.sprintf "lease %s disappeared" t.path)));
+  let h = { t.holder with refreshed_at = Unix.gettimeofday () } in
+  let tmp = Printf.sprintf "%s.tmp.%d" t.path (Unix.getpid ()) in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (Json.to_string (holder_json h));
+      Out_channel.output_char oc '\n');
+  Sys.rename tmp t.path;
+  t.holder <- h
+
+let release t =
+  match read_holder t.path with
+  | Some h when String.equal h.owner t.holder.owner -> (
+      try Sys.remove t.path with Sys_error _ -> ())
+  | _ -> ()

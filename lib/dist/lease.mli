@@ -1,0 +1,76 @@
+(** Filesystem leases: exclusive shard ownership with heartbeats and
+    crash takeover, coordinated through the checkpoint directory alone —
+    no lock server, no network service.
+
+    A lease is a JSON file [<name>.lease] recording its holder (owner id,
+    host, pid) and heartbeat timestamps.  {!acquire} claims it atomically:
+    the claimant writes a complete temp file and [Unix.link]s it into
+    place, so concurrent claimants race on a single atomic syscall and
+    readers never observe a half-written lease.  A holder heartbeats by
+    {!refresh}ing after each completed cell; a claimant finding a {e stale}
+    lease — heartbeat older than the ttl, or (same-host fast path) a dead
+    pid — renames the corpse aside and claims the shard, then resumes from
+    the dead worker's checkpoint prefix.
+
+    Semantics and limits (documented, by design): staleness-by-ttl assumes
+    loosely synchronized clocks across hosts and a heartbeat interval well
+    under the ttl (a worker that stalls longer than the ttl can be
+    declared dead while alive).  {!refresh} detects that takeover and
+    raises {!Lost} rather than clobbering the new owner; the merge's
+    byte-equality audit on duplicate cells is the backstop if both still
+    managed to write. *)
+
+type holder = {
+  owner : string;  (** ["host:pid"], unique per worker process. *)
+  host : string;
+  pid : int;
+  acquired_at : float;
+  refreshed_at : float;  (** Last heartbeat (epoch seconds). *)
+}
+
+type t
+(** A lease held by this process. *)
+
+exception Lost of string
+(** Raised by {!refresh} when the lease file no longer names this process
+    — another worker judged us dead and took the shard over.  The only
+    safe reaction is to stop writing the shard checkpoint. *)
+
+type acquired = {
+  lease : t;
+  taken_over_from : holder option;
+      (** [Some h] when the claim displaced a stale holder — the takeover
+          path: resume from [h]'s checkpoint prefix. *)
+}
+
+val acquire : dir:string -> name:string -> ?ttl:float -> unit -> (acquired, holder) result
+(** Claim [dir/<name>.lease].  [Ok] on success (fresh claim or stale
+    takeover); [Error incumbent] when a live holder already owns it.
+    [ttl] (default 60s) is the staleness horizon used both for this claim
+    and for judging this process's own later heartbeats. *)
+
+val refresh : t -> unit
+(** Heartbeat: atomically rewrite the lease with a fresh timestamp.
+    Raises {!Lost} if the file now names another owner (or vanished). *)
+
+val release : t -> unit
+(** Remove the lease if this process still holds it.  Only called on
+    clean shard completion — a worker dying with the lease in place is
+    exactly what lets the next claimant detect the crash. *)
+
+val read : dir:string -> name:string -> holder option
+(** Inspect a lease without claiming it. *)
+
+val is_stale : holder -> ttl:float -> bool
+(** True when the heartbeat is older than [ttl], or the holder's pid is
+    dead on this host (the same-host fast path — no need to wait out the
+    ttl to reclaim a SIGKILLed worker's shard). *)
+
+val self_owner : unit -> string
+(** This process's owner id, ["host:pid"]. *)
+
+val ttl : t -> float
+
+val holder : t -> holder
+
+val path : t -> string

@@ -1,0 +1,123 @@
+open Flowsched_util
+
+let plan ~shards ~index cells =
+  if shards < 1 then
+    invalid_arg (Printf.sprintf "Shard.plan: shards must be >= 1 (got %d)" shards);
+  if index < 0 || index >= shards then
+    invalid_arg (Printf.sprintf "Shard.plan: index %d out of range 0..%d" index (shards - 1));
+  (* Round-robin by grid position: adjacent cells usually share a workload
+     kind and rate, so striping spreads the expensive corner of the grid
+     across workers instead of handing it whole to one shard. *)
+  List.filteri (fun i _ -> i mod shards = index) cells
+
+let owner_of ~shards i = i mod shards
+
+let fingerprint keys = Printf.sprintf "%08x" (Crc.string (String.concat "\n" keys))
+
+type manifest = {
+  kind : string;
+  shards : int;
+  index : int;
+  fingerprint : string;
+  grid_cells : int;
+  policies : string list;
+  keys : string list;
+}
+
+let make ~kind ~shards ~index ~policies all_keys =
+  {
+    kind;
+    shards;
+    index;
+    fingerprint = fingerprint all_keys;
+    grid_cells = List.length all_keys;
+    policies;
+    keys = plan ~shards ~index all_keys;
+  }
+
+let file_stem ~shards ~index = Printf.sprintf "shard-%d-of-%d" index shards
+let manifest_name ~shards ~index = file_stem ~shards ~index ^ ".manifest.json"
+let checkpoint_name ~shards ~index = file_stem ~shards ~index ^ ".jsonl"
+
+let manifest_json m =
+  Json.Obj
+    [
+      ("schema", Json.Str "flowsched-shard/1");
+      ("kind", Json.Str m.kind);
+      ("shards", Json.Int m.shards);
+      ("index", Json.Int m.index);
+      ("fingerprint", Json.Str m.fingerprint);
+      ("grid_cells", Json.Int m.grid_cells);
+      ("policies", Json.Arr (List.map (fun p -> Json.Str p) m.policies));
+      ("keys", Json.Arr (List.map (fun k -> Json.Str k) m.keys));
+    ]
+
+let manifest_of_json j =
+  let str name = Option.bind (Json.member name j) Json.to_string_opt in
+  let int name = Option.bind (Json.member name j) Json.to_int_opt in
+  let str_list name =
+    match Json.member name j with
+    | Some (Json.Arr xs) ->
+        let strs = List.filter_map Json.to_string_opt xs in
+        if List.length strs = List.length xs then Some strs else None
+    | _ -> None
+  in
+  match
+    (str "schema", str "kind", int "shards", int "index", str "fingerprint", int "grid_cells",
+     str_list "policies", str_list "keys")
+  with
+  | ( Some "flowsched-shard/1",
+      Some kind,
+      Some shards,
+      Some index,
+      Some fingerprint,
+      Some grid_cells,
+      Some policies,
+      Some keys ) ->
+      if shards < 1 || index < 0 || index >= shards then
+        Error (Printf.sprintf "manifest: shard %d/%d out of range" index shards)
+      else Ok { kind; shards; index; fingerprint; grid_cells; policies; keys }
+  | Some other, _, _, _, _, _, _, _ when other <> "flowsched-shard/1" ->
+      Error (Printf.sprintf "manifest: unknown schema %S" other)
+  | _ -> Error "manifest: missing or mistyped fields"
+
+let load_manifest path =
+  match Json.parse (In_channel.with_open_bin path In_channel.input_all) with
+  | Error msg -> Error (Printf.sprintf "%s: not valid JSON: %s" path msg)
+  | Ok j -> (
+      match manifest_of_json j with
+      | Ok m -> Ok m
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+
+(* Atomic write (temp + rename): the merge may scan the directory while a
+   worker is registering itself, and must never see a half-written file. *)
+let write_manifest ~dir m =
+  let path = Filename.concat dir (manifest_name ~shards:m.shards ~index:m.index) in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  Out_channel.with_open_bin tmp (fun oc ->
+      Out_channel.output_string oc (Json.to_string (manifest_json m));
+      Out_channel.output_char oc '\n');
+  Sys.rename tmp path;
+  path
+
+let compatible a b =
+  if a.kind <> b.kind then Error (Printf.sprintf "kind %S vs %S" a.kind b.kind)
+  else if a.shards <> b.shards then
+    Error (Printf.sprintf "shard count %d vs %d" a.shards b.shards)
+  else if a.fingerprint <> b.fingerprint then
+    Error
+      (Printf.sprintf "grid fingerprint %s vs %s (different grids can never merge)"
+         a.fingerprint b.fingerprint)
+  else if a.policies <> b.policies then
+    Error
+      (Printf.sprintf "policy set [%s] vs [%s]" (String.concat "," a.policies)
+         (String.concat "," b.policies))
+  else Ok ()
+
+let scan dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".manifest.json")
+    |> List.sort compare
+    |> List.map (fun f -> Filename.concat dir f)

@@ -1,0 +1,67 @@
+(** Deterministic shard planning for distributed grid runs.
+
+    A grid of N cells split over [shards] workers: shard [index] owns the
+    cells whose grid position is congruent to [index] mod [shards]
+    (round-robin striping, so the expensive corner of a grid is spread
+    across workers rather than handed whole to one).  The plan is a pure
+    function of the cell list, so every worker — and the merge — computes
+    the same partition from the same CLI flags, with no coordinator.
+
+    Each worker registers itself by writing a {!manifest} into the shared
+    checkpoint directory.  The manifest carries a {!fingerprint} of the
+    {e full} grid's canonical cell keys: two shards whose fingerprints
+    differ were cut from different grids and can never be merged, no
+    matter how plausible their file names look. *)
+
+val plan : shards:int -> index:int -> 'a list -> 'a list
+(** The sublist of cells owned by shard [index] of [shards], in grid
+    order.  [plan ~shards ~index] over [index = 0..shards-1] partitions
+    the input exactly.  Raises [Invalid_argument] on [shards < 1] or an
+    out-of-range index. *)
+
+val owner_of : shards:int -> int -> int
+(** The shard that owns the cell at grid position [i]. *)
+
+val fingerprint : string list -> string
+(** Hex CRC-32 of the canonical cell keys of the whole grid, in grid
+    order.  Identifies the grid: any change to a cell config, the cell
+    count, or their order changes the fingerprint. *)
+
+type manifest = {
+  kind : string;  (** The checkpoint entry kind, e.g. ["sweep"]. *)
+  shards : int;
+  index : int;
+  fingerprint : string;  (** {!fingerprint} of the full grid. *)
+  grid_cells : int;  (** Total cells in the full grid. *)
+  policies : string list;
+      (** Policy names the worker ran — results depend on them even though
+          cell keys do not, so merging checks them too. *)
+  keys : string list;  (** This shard's assigned cell keys, in grid order. *)
+}
+
+val make : kind:string -> shards:int -> index:int -> policies:string list -> string list -> manifest
+(** [make ~kind ~shards ~index ~policies all_keys] — the manifest for one
+    shard of the grid whose full canonical key list is [all_keys]. *)
+
+val file_stem : shards:int -> index:int -> string
+(** ["shard-<index>-of-<shards>"] — the basename shared by a shard's
+    manifest, checkpoint, and lease files. *)
+
+val manifest_name : shards:int -> index:int -> string
+val checkpoint_name : shards:int -> index:int -> string
+
+val write_manifest : dir:string -> manifest -> string
+(** Atomically (temp + rename) write the manifest into [dir]; returns the
+    path.  Idempotent for the same grid. *)
+
+val load_manifest : string -> (manifest, string) result
+
+val compatible : manifest -> manifest -> (unit, string) result
+(** Check two manifests describe the same grid run: same kind, shard
+    count, fingerprint, and policy set. *)
+
+val scan : string -> string list
+(** The manifest paths present in a checkpoint directory, sorted. *)
+
+val manifest_json : manifest -> Flowsched_util.Json.t
+val manifest_of_json : Flowsched_util.Json.t -> (manifest, string) result

@@ -264,3 +264,70 @@ let to_json results =
       ("schema", Json.Str "flowsched-matrix/1");
       ("cells", Json.Arr (List.map cell_json results));
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint/resume: canonical cell identity, an exact-inverse decoder *)
+(* for cell_json, and the resume wrapper over the generic Checkpoint    *)
+(* skeleton — matrix artifacts carry no timing metadata at all, so a    *)
+(* resumed artifact is byte-identical with no fields to forgive.        *)
+(* ------------------------------------------------------------------ *)
+
+let cell_key c =
+  Printf.sprintf "matrix|%s|mode=%s|m=%d|rate=%h|T=%d|dmax=%d|seed=%d|lp=%b"
+    (Scenario.to_string c.scenario.Scenario.kind)
+    (mode_to_string c.mode) c.scenario.Scenario.m c.scenario.Scenario.rate
+    c.scenario.Scenario.rounds c.scenario.Scenario.max_demand c.scenario.Scenario.seed c.lp
+
+exception Decode of string
+
+let req what = function Some v -> v | None -> raise (Decode (what ^ ": missing or mistyped"))
+let req_int j name = req name (Option.bind (Json.member name j) Json.to_int_opt)
+let req_float j name = req name (Option.bind (Json.member name j) Json.to_float_opt)
+let req_str j name = req name (Option.bind (Json.member name j) Json.to_string_opt)
+let req_bool j name = req name (Option.bind (Json.member name j) Json.to_bool_opt)
+let check what expected got = if expected <> got then raise (Decode ("mismatched " ^ what))
+
+let cell_result_of_json ~cell j =
+  try
+    check "workload" (Scenario.to_string cell.scenario.Scenario.kind) (req_str j "workload");
+    check "mode" (mode_to_string cell.mode) (req_str j "mode");
+    check "m" cell.scenario.Scenario.m (req_int j "m");
+    check "rate" cell.scenario.Scenario.rate (req_float j "rate");
+    check "rounds" cell.scenario.Scenario.rounds (req_int j "rounds");
+    check "max_demand" cell.scenario.Scenario.max_demand (req_int j "max_demand");
+    check "seed" cell.scenario.Scenario.seed (req_int j "seed");
+    check "lp" cell.lp (req_bool j "lp");
+    let entries =
+      match Json.member "entries" j with
+      | Some (Json.Arr es) ->
+          List.map
+            (fun ej ->
+              { name = req_str ej "policy"; art = req_float ej "art"; mrt = req_int ej "mrt" })
+            es
+      | _ -> raise (Decode "entries: missing or mistyped")
+    in
+    let error =
+      match Json.member "error" j with
+      | None | Some Json.Null -> None
+      | Some v -> Some (req "error" (Json.to_string_opt v))
+    in
+    Ok
+      {
+        cell;
+        flows = req_int j "flows";
+        entries;
+        bound_kind = req_str j "bound_kind";
+        bound_avg = req_float j "bound_avg";
+        bound_max = req_float j "bound_max";
+        error;
+      }
+  with Decode msg -> Error msg
+
+let run_checkpointed ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults ?on_append
+    ckpt cells =
+  Flowsched_sim.Checkpoint.resume_run ~kind:"matrix" ~key:cell_key ?on_append
+    ~decode:(fun c j -> cell_result_of_json ~cell:c j)
+    ~encode:cell_json
+    ~run_cells:(fun on_result todo ->
+      run ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults ~on_result todo)
+    ckpt cells

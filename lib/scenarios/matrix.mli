@@ -73,3 +73,32 @@ val cell_json : cell_result -> Flowsched_util.Json.t
 
 val to_json : cell_result list -> Flowsched_util.Json.t
 (** The matrix artifact, schema ["flowsched-matrix/1"]. *)
+
+val cell_key : cell -> string
+(** Canonical checkpoint identity of a cell, e.g.
+    ["matrix|poisson|mode=flows|m=8|rate=0x1p+1|T=60|dmax=4|seed=7|lp=true"].
+    Floats print in hex ([%h]) so the key is exact. *)
+
+val cell_result_of_json :
+  cell:cell -> Flowsched_util.Json.t -> (cell_result, string) result
+(** Exact inverse of {!cell_json}, validated against [cell]: every identity
+    field in the JSON must match the cell it claims to be, so a stale or
+    spliced checkpoint entry is rejected rather than silently adopted. *)
+
+val run_checkpointed :
+  policies:Flowsched_online.Policy.t list ->
+  ?progress:(string -> unit) ->
+  ?backend:Flowsched_domains.Backend.t ->
+  ?jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  ?faults:Flowsched_exec.Faults.plan ->
+  ?on_append:(string -> unit) ->
+  Flowsched_sim.Checkpoint.t ->
+  cell list ->
+  cell_result list
+(** {!run} through a {!Flowsched_sim.Checkpoint}: previously recorded
+    cells are decoded (and re-validated) instead of re-run, fresh results
+    are appended CRC-sealed as they arrive, and the returned list is in
+    input order either way.  Matrix artifacts carry no timing metadata, so
+    a resumed artifact is byte-identical to an uninterrupted one. *)

@@ -7,6 +7,8 @@ type t = {
   mutable loaded : int;
 }
 
+type entry = { kind : string; key : string; result : Json.t }
+
 (* Canonical cell identities.  Floats print as hex (%h): exact, so a rate
    of 2.0 and 2.0000000000000004 never collide into one key. *)
 let sweep_key (s : Experiment.sweep_config) =
@@ -19,60 +21,98 @@ let grid_key (c : Experiment.cell_config) =
     c.Experiment.rate c.Experiment.rounds c.Experiment.tries c.Experiment.seed
     c.Experiment.with_lp
 
-let entry_of_line line =
+(* ------------------------------------------------------------------ *)
+(* Line format.  Each line is a JSON object whose first field is a      *)
+(* CRC-32 (hex) of the rest of the object serialized compactly:         *)
+(*   {"crc": "xxxxxxxx", "kind": ..., "key": ..., "result": ...}        *)
+(* The CRC lets the loader tell a torn tail (the writer was killed      *)
+(* mid-append: drop the line and continue) from mid-file bit rot (fail  *)
+(* loudly with the line number) — JSON parse failure alone cannot       *)
+(* catch a flipped digit inside a number.                               *)
+(* ------------------------------------------------------------------ *)
+
+let entry_json ~kind ~key result =
+  Json.Obj [ ("kind", Json.Str kind); ("key", Json.Str key); ("result", result) ]
+
+let seal ~kind ~key result =
+  let body = Json.to_string ~pretty:false (entry_json ~kind ~key result) in
+  (* [body] is "{...}": splice the checksum in as the first field. *)
+  Printf.sprintf "{\"crc\": \"%08x\", %s" (Crc.string body)
+    (String.sub body 1 (String.length body - 1))
+
+(* A line is [Torn] when it could be the tail of an interrupted append
+   (incomplete JSON, or a checksum that does not match — the write never
+   finished); it is a hard [Error] when the checksum proves the line was
+   written in full but its structure is still wrong. *)
+type parsed = Entry of entry | Torn of string | Bad of string
+
+let parse_line line =
   match Json.parse line with
-  | Error msg -> Error msg
-  | Ok j -> (
-      match
-        ( Option.bind (Json.member "key" j) Json.to_string_opt,
-          Json.member "result" j )
-      with
-      | Some key, Some result -> Ok (key, result)
-      | _ -> Error "not a checkpoint entry (expected key + result fields)")
+  | Error msg -> Torn ("not valid JSON: " ^ msg)
+  | Ok (Json.Obj (("crc", Json.Str stored) :: rest)) -> (
+      let body = Json.to_string ~pretty:false (Json.Obj rest) in
+      let computed = Printf.sprintf "%08x" (Crc.string body) in
+      if not (String.equal stored computed) then
+        Torn (Printf.sprintf "CRC mismatch (stored %s, computed %s)" stored computed)
+      else
+        match
+          ( Option.bind (Json.member "kind" (Json.Obj rest)) Json.to_string_opt,
+            Option.bind (Json.member "key" (Json.Obj rest)) Json.to_string_opt,
+            Json.member "result" (Json.Obj rest) )
+        with
+        | Some kind, Some key, Some result -> Entry { kind; key; result }
+        | _ -> Bad "checksummed line is not a checkpoint entry (expected kind + key + result)")
+  | Ok _ -> Torn "missing leading crc field"
+
+let read_entries ~path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    let lines =
+      String.split_on_char '\n' data |> List.filter (fun l -> String.trim l <> "")
+    in
+    let n = List.length lines in
+    List.filteri
+      (fun i line ->
+        match parse_line line with
+        | Entry _ -> true
+        | Torn msg when i = n - 1 ->
+            (* The tail of a file whose writer was killed mid-append: drop
+               it (callers rewrite the valid prefix, so appends stay clean). *)
+            Printf.eprintf "checkpoint %s: dropping partial final line (%s)\n%!" path msg;
+            false
+        | Torn msg | Bad msg ->
+            failwith
+              (Printf.sprintf "checkpoint %s is corrupt at line %d: %s" path (i + 1) msg))
+      lines
+    |> List.map (fun line ->
+           match parse_line line with
+           | Entry e -> e
+           | Torn _ | Bad _ -> assert false)
+  end
 
 let loaded t = t.loaded
 
 let open_ ~path ~resume =
   let entries = Hashtbl.create 64 in
-  let valid_lines = ref [] in
-  if resume && Sys.file_exists path then begin
-    let data = In_channel.with_open_bin path In_channel.input_all in
-    let lines = String.split_on_char '\n' data |> List.filter (fun l -> String.trim l <> "") in
-    let n = List.length lines in
-    List.iteri
-      (fun i line ->
-        match entry_of_line line with
-        | Ok (key, result) ->
-            Hashtbl.replace entries key result;
-            valid_lines := line :: !valid_lines
-        | Error msg when i = n - 1 ->
-            (* The tail of a file whose writer was killed mid-append: drop
-               it (it is rewritten away below, so appends stay clean). *)
-            Printf.eprintf "checkpoint %s: dropping partial final line (%s)\n%!" path msg
-        | Error msg ->
-            failwith
-              (Printf.sprintf "checkpoint %s is corrupt at line %d: %s" path (i + 1) msg))
-      lines
-  end;
+  let valid = if resume then read_entries ~path else [] in
+  List.iter (fun e -> Hashtbl.replace entries e.key e.result) valid;
   (* Truncate-and-rewrite the valid prefix (cheap next to the compute the
-     file is saving), leaving the channel positioned for appends. *)
+     file is saving), leaving the channel positioned for appends.  Sealing
+     is deterministic, so surviving lines keep their exact bytes. *)
   let oc = Out_channel.open_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
   List.iter
-    (fun line ->
-      Out_channel.output_string oc line;
+    (fun e ->
+      Out_channel.output_string oc (seal ~kind:e.kind ~key:e.key e.result);
       Out_channel.output_char oc '\n')
-    (List.rev !valid_lines);
+    valid;
   Out_channel.flush oc;
   { path; entries; oc; loaded = Hashtbl.length entries }
 
 let close t = Out_channel.close t.oc
 
 let append t ~kind ~key result =
-  let line =
-    Json.to_string ~pretty:false
-      (Json.Obj [ ("kind", Json.Str kind); ("key", Json.Str key); ("result", result) ])
-  in
-  Out_channel.output_string t.oc line;
+  Out_channel.output_string t.oc (seal ~kind ~key result);
   Out_channel.output_char t.oc '\n';
   (* One flush per cell: a kill between cells never loses a settled one. *)
   Out_channel.flush t.oc;
@@ -80,7 +120,7 @@ let append t ~kind ~key result =
 
 (* Partition cells against the store, run only the remainder (persisting
    each completion), and merge back in grid order. *)
-let resume_run ~kind ~key ~decode ~encode ~run_cells t cells =
+let resume_run ~kind ~key ?(on_append = fun _ -> ()) ~decode ~encode ~run_cells t cells =
   let recovered = Hashtbl.create 16 in
   let todo =
     List.filter
@@ -103,7 +143,13 @@ let resume_run ~kind ~key ~decode ~encode ~run_cells t cells =
   let fresh =
     match todo with
     | [] -> []
-    | _ -> run_cells (fun c r -> append t ~kind ~key:(key c) (encode r)) todo
+    | _ ->
+        run_cells
+          (fun c r ->
+            let k = key c in
+            append t ~kind ~key:k (encode r);
+            on_append k)
+          todo
   in
   let q = Queue.create () in
   List.iter (fun r -> Queue.add r q) fresh;
@@ -112,8 +158,9 @@ let resume_run ~kind ~key ~decode ~encode ~run_cells t cells =
       match Hashtbl.find_opt recovered (key c) with Some r -> r | None -> Queue.pop q)
     cells
 
-let run_sweep ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults t cells =
-  resume_run ~kind:"sweep" ~key:sweep_key
+let run_sweep ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults ?on_append t cells
+    =
+  resume_run ~kind:"sweep" ~key:sweep_key ?on_append
     ~decode:(fun c j -> Report.sweep_result_of_json ~sweep:c j)
     ~encode:Report.sweep_cell_json
     ~run_cells:(fun on_result todo ->
@@ -121,8 +168,8 @@ let run_sweep ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults t cel
         ~on_result todo)
     t cells
 
-let run_grid ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults t cells =
-  resume_run ~kind:"grid" ~key:grid_key
+let run_grid ~policies ?progress ?backend ?jobs ?timeout ?retries ?faults ?on_append t cells =
+  resume_run ~kind:"grid" ~key:grid_key ?on_append
     ~decode:(fun c j -> Report.cell_result_of_json ~config:c j)
     ~encode:Report.cell_json
     ~run_cells:(fun on_result todo ->

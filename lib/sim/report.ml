@@ -146,6 +146,20 @@ let sweep_json ?(jobs = 1) ?metrics results =
 (* what makes a resumed sweep artifact byte-identical.                  *)
 (* ------------------------------------------------------------------ *)
 
+(* The deterministic projection of a sweep result: everything except the
+   wall-clock readings, which legitimately differ between two runs of the
+   same cell.  Two computations of one cell must agree here byte-for-byte
+   — the merge pipeline's duplicate audit and the chaos tests both compare
+   [sweep_cell_json (strip_sweep_timing r)] strings. *)
+let strip_sweep_timing (r : Experiment.sweep_result) =
+  let lp_counters =
+    Option.map
+      (fun (c : Flowsched_lp.Simplex.counters) ->
+        { c with Flowsched_lp.Simplex.phase1_seconds = 0.; phase2_seconds = 0. })
+      r.Experiment.lp_counters
+  in
+  { r with Experiment.wall_s = 0.; lp_counters }
+
 exception Decode of string
 
 let req what = function Some v -> v | None -> raise (Decode (what ^ ": missing or mistyped"))

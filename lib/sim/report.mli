@@ -30,6 +30,13 @@ val sweep_cell_json : Experiment.sweep_result -> Flowsched_util.Json.t
 val cell_json : Experiment.cell_result -> Flowsched_util.Json.t
 (** One Figure 6/7 grid cell as a JSON object, config included. *)
 
+val strip_sweep_timing : Experiment.sweep_result -> Experiment.sweep_result
+(** The deterministic projection of a sweep result: per-cell wall-clock
+    and the LP phase-time counters zeroed, everything else untouched.  Two
+    independent computations of the same cell must serialize identically
+    after this — the merge pipeline's duplicate audit and the chaos tests
+    both rely on it. *)
+
 val sweep_result_of_json :
   sweep:Experiment.sweep_config ->
   Flowsched_util.Json.t ->

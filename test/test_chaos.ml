@@ -135,14 +135,7 @@ let sweep_cells =
         [ 1; 2 ])
     [ "poisson"; "uniform" ]
 
-let strip_wall (r : Experiment.sweep_result) =
-  let lp_counters =
-    Option.map
-      (fun (c : Flowsched_lp.Simplex.counters) ->
-        { c with Flowsched_lp.Simplex.phase1_seconds = 0.; phase2_seconds = 0. })
-      r.Experiment.lp_counters
-  in
-  { r with Experiment.wall_s = 0.; lp_counters }
+let strip_wall = Report.strip_sweep_timing
 
 (* The byte-identity oracle: the artifact with its (legitimately
    nondeterministic) timing fields zeroed. *)
@@ -262,14 +255,16 @@ let test_checkpoint_stale_entry_rejected () =
     | Ok j -> Option.get (Option.bind (Json.member "key" j) Json.to_string_opt)
     | Error e -> Alcotest.failf "checkpoint line does not parse: %s" e
   in
+  (* Re-seal the forged entry so its CRC is valid: the splice must get past
+     the integrity layer and be caught by the config check at decode. *)
   let forged =
     match (lines, Json.parse (List.nth lines 1)) with
-    | first :: _, Ok (Json.Obj fields) ->
-        Json.to_string ~pretty:false
-          (Json.Obj
-             (List.map
-                (fun (k, v) -> if k = "key" then (k, Json.Str (key_of first)) else (k, v))
-                fields))
+    | first :: _, Ok j ->
+        let kind =
+          Option.get (Option.bind (Json.member "kind" j) Json.to_string_opt)
+        in
+        let result = Option.get (Json.member "result" j) in
+        Checkpoint.seal ~kind ~key:(key_of first) result
     | _ -> Alcotest.fail "expected parsable checkpoint lines"
   in
   write_lines path [ forged ];

@@ -291,15 +291,7 @@ let test_sweep_deterministic_across_jobs () =
   let policies = [ Heuristics.maxcard; Heuristics.maxweight ] in
   (* Discrete LP counters (pivots, warm accepts, ...) must be identical
      across job counts too; only the timing fields are nondeterministic. *)
-  let strip_wall (r : Experiment.sweep_result) =
-    let lp_counters =
-      Option.map
-        (fun (c : Flowsched_lp.Simplex.counters) ->
-          { c with Flowsched_lp.Simplex.phase1_seconds = 0.; phase2_seconds = 0. })
-        r.Experiment.lp_counters
-    in
-    { r with Experiment.wall_s = 0.; lp_counters }
-  in
+  let strip_wall = Report.strip_sweep_timing in
   let seq = List.map strip_wall (Experiment.run_sweep ~policies ~jobs:1 sweep_cells) in
   let par = List.map strip_wall (Experiment.run_sweep ~policies ~jobs:3 sweep_cells) in
   Alcotest.(check bool) "sweep results identical up to wall-clock" true (seq = par)
